@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the per-table/per-figure benchmark binaries.
+ *
+ * Every bench is a standalone executable that prints the measured
+ * reproduction next to the paper's reported values. Sample counts
+ * scale with the QEC_BENCH_SCALE environment variable (default 1.0);
+ * raise it for tighter error bars.
+ */
+
+#ifndef QEC_BENCH_COMMON_HPP
+#define QEC_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "qec/qec.hpp"
+
+namespace qecbench
+{
+
+/** Default per-k sample count for LER estimation, after scaling. */
+inline uint64_t
+scaledSamples(uint64_t base)
+{
+    const double scaled = static_cast<double>(base) *
+                          qec::benchScale();
+    return scaled < 16 ? 16 : static_cast<uint64_t>(scaled);
+}
+
+/** Standard estimator options used across the LER benches. */
+inline qec::LerOptions
+standardLerOptions(uint64_t base_samples)
+{
+    qec::LerOptions options;
+    options.kMax = 24;
+    options.samplesPerK = scaledSamples(base_samples);
+    // k <= 2 cannot defeat the code or overflow Astrea (each
+    // graphlike mechanism flips at most 2 detectors), so P_f = 0.
+    options.skipBelowK = 3;
+    return options;
+}
+
+/** Estimate the LER of one named decoder configuration. */
+inline qec::LerEstimate
+runLer(const qec::ExperimentContext &ctx, const std::string &name,
+       uint64_t base_samples,
+       const qec::SampleObserver &observer = nullptr)
+{
+    auto decoder =
+        qec::makeDecoder(name, ctx.graph(), ctx.paths());
+    return qec::estimateLer(ctx, *decoder,
+                            standardLerOptions(base_samples),
+                            observer);
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *description)
+{
+    std::printf("==========================================================\n"
+                "%s — %s\n"
+                "Promatch reproduction (see EXPERIMENTS.md); "
+                "QEC_BENCH_SCALE=%g\n"
+                "==========================================================\n",
+                experiment, description, qec::benchScale());
+}
+
+} // namespace qecbench
+
+#endif // QEC_BENCH_COMMON_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 4: LER trends vs code distance for MWPM, Astrea-G,
+ * Clique+MWPM, and an AFS-class union-find decoder at p = 1e-4.
+ *
+ * Paper shape: MWPM and Clique+MWPM keep dropping with distance;
+ * Astrea-G tracks MWPM up to d = 9 but diverges beyond (2.5x at
+ * d = 11, 43x at d = 13); AFS/union-find sits above MWPM at this
+ * near-term error rate.
+ */
+
+#include "bench_common.hpp"
+
+using namespace qec;
+using namespace qecbench;
+
+int
+main()
+{
+    banner("Figure 4", "LER vs distance, p = 1e-4");
+
+    ReportTable table(
+        "Figure 4: LER and P(fail | HW>10) vs distance, p = 1e-4",
+        {"d", "MWPM", "Astrea-G", "Clique+MWPM", "UnionFind(AFS)",
+         "AG P(f|HW>10)", "UF P(f|HW>10)"});
+
+    for (int d : {9, 11, 13}) {
+        const auto &ctx = ExperimentContext::get(d, 1e-4);
+        HwConditionalStats ag_stats, uf_stats;
+        const double mwpm = runLer(ctx, "mwpm", 1000).ler;
+        const double ag =
+            runLer(ctx, "astrea_g", 1000,
+                   [&](const SampleView &view) {
+                       ag_stats.record(
+                           static_cast<int>(view.defects.size()),
+                           view.weight, view.failed);
+                   })
+                .ler;
+        const double clique = runLer(ctx, "clique_mwpm", 1000).ler;
+        const double uf =
+            runLer(ctx, "union_find", 1000,
+                   [&](const SampleView &view) {
+                       uf_stats.record(
+                           static_cast<int>(view.defects.size()),
+                           view.weight, view.failed);
+                   })
+                .ler;
+        table.addRow({std::to_string(d), formatSci(mwpm),
+                      formatSci(ag), formatSci(clique),
+                      formatSci(uf),
+                      formatSci(
+                          ag_stats.conditionalFailRate(11, 64)),
+                      formatSci(
+                          uf_stats.conditionalFailRate(11, 64))});
+        std::printf("  done: d=%d\n", d);
+    }
+    table.print();
+    std::printf(
+        "\nShape checks: Astrea-G matches MWPM at d=9 and falls "
+        "behind at d=11/13\n(the paper's 2.5x and 43x gaps); "
+        "union-find trails MWPM; Clique+MWPM tracks\nMWPM because "
+        "its main decoder is exact software MWPM.\n");
+    return 0;
+}

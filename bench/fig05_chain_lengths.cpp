@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 5: error-chain length distribution in MWPM solutions of
+ * high-HW syndromes at d = 13, p = 1e-4.
+ *
+ * Paper shape: more than 90% of matched error chains have length 1
+ * (defects matched to direct neighbors) — the observation Promatch's
+ * locality-aware design is built on.
+ */
+
+#include "bench_common.hpp"
+
+using namespace qec;
+using namespace qecbench;
+
+int
+main()
+{
+    banner("Figure 5", "MWPM chain-length distribution, d = 13");
+
+    const auto &ctx = ExperimentContext::get(13, 1e-4);
+    auto mwpm = makeDecoder("mwpm", ctx.graph(), ctx.paths());
+
+    // Sample high-HW syndromes via k-fault injection and accumulate
+    // the chain-length histogram of the exact solutions, weighted by
+    // occurrence probability.
+    ImportanceSampler sampler(ctx.dem(), 24);
+    Rng rng(0xf16'5);
+    WeightedHistogram lengths;
+    const uint64_t per_k = scaledSamples(400);
+    uint64_t high_hw_samples = 0;
+    for (int k = 6; k <= 24; ++k) {
+        const double weight =
+            sampler.occurrenceProb(k) / static_cast<double>(per_k);
+        for (uint64_t s = 0; s < per_k; ++s) {
+            const auto sample = sampler.sample(k, rng);
+            if (sample.defects.size() <= 10) {
+                continue;
+            }
+            ++high_hw_samples;
+            const DecodeResult result =
+                mwpm->decode(sample.defects);
+            for (int len : result.chainLengths) {
+                lengths.add(len, weight);
+            }
+        }
+    }
+
+    ReportTable table(
+        "Figure 5: error-chain length frequency (high-HW, d=13)",
+        {"chain length", "measured frequency", "paper"});
+    const double total = lengths.totalWeight();
+    for (int len = 1; len <= std::min(8, lengths.maxBin());
+         ++len) {
+        const double freq = lengths.probabilityAt(len, total);
+        table.addRow({std::to_string(len), formatSci(freq),
+                      len == 1 ? "> 0.9" : "(tail)"});
+    }
+    table.print();
+    std::printf("\n%llu high-HW syndromes decoded; length-1 "
+                "fraction = %.3f (paper: > 0.9)\n",
+                static_cast<unsigned long long>(high_hw_samples),
+                lengths.probabilityAt(1, total));
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 14: LER of the six decoder configurations for
+ * 1e-4 <= p <= 5e-4 at d = 11. Paper shape: Promatch||AG remains
+ * within 1.1x of MWPM's LER across the sweep.
+ */
+
+#include "fig_sweep_common.hpp"
+
+int
+main()
+{
+    qecbench::banner("Figure 14", "LER vs p sweep, d = 11");
+    qecbench::runSweep(11, 1.1);
+    return 0;
+}

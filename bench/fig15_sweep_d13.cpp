@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 15: LER of the six decoder configurations for
+ * 1e-4 <= p <= 5e-4 at d = 13. Paper shape: Promatch||AG remains
+ * within 13.9x of MWPM's LER across the sweep.
+ */
+
+#include "fig_sweep_common.hpp"
+
+int
+main()
+{
+    qecbench::banner("Figure 15", "LER vs p sweep, d = 13");
+    qecbench::runSweep(13, 13.9);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 16: syndrome HW distribution before/after predecoding at
+ * d = 11, p = 1e-4 (Promatch vs Smith et al.).
+ */
+
+#include "fig_hw_reduction_common.hpp"
+
+int
+main()
+{
+    qecbench::banner("Figure 16",
+                     "HW reduction by predecoding, d = 11");
+    qecbench::runHwReduction(11);
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 17: syndrome HW distribution before/after predecoding at
+ * d = 13, p = 1e-4 (Promatch vs Smith et al.).
+ */
+
+#include "fig_hw_reduction_common.hpp"
+
+int
+main()
+{
+    qecbench::banner("Figure 17",
+                     "HW reduction by predecoding, d = 13");
+    qecbench::runHwReduction(13);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared driver for Figs. 16/17: the Hamming-weight distribution of
+ * syndromes before and after predecoding with Promatch and with the
+ * Smith et al. predecoder.
+ *
+ * Paper shape: Promatch always lands the residual HW at 10 or below
+ * (adaptively at 6/8/10), while Smith leaves a tail beyond 10 that
+ * the HW <= 10 main decoder cannot handle.
+ */
+
+#ifndef QEC_BENCH_FIG_HW_REDUCTION_COMMON_HPP
+#define QEC_BENCH_FIG_HW_REDUCTION_COMMON_HPP
+
+#include "bench_common.hpp"
+
+namespace qecbench
+{
+
+inline void
+runHwReduction(int distance)
+{
+    const auto &ctx = qec::ExperimentContext::get(distance, 1e-4);
+
+    auto build = [&](const char *name) {
+        return qec::makeDecoder(name, ctx.graph(), ctx.paths());
+    };
+    auto promatch = build("promatch_astrea");
+    auto smith = build("smith_astrea");
+    auto *promatch_pipe =
+        dynamic_cast<qec::PredecodedDecoder *>(promatch.get());
+    auto *smith_pipe =
+        dynamic_cast<qec::PredecodedDecoder *>(smith.get());
+
+    qec::ImportanceSampler sampler(ctx.dem(), 24);
+    qec::Rng rng(0x9716);
+    qec::WeightedHistogram before, after_promatch, after_smith;
+    const uint64_t per_k = scaledSamples(400);
+    double above10_before = 0, above10_pm = 0, above10_smith = 0;
+
+    for (int k = 1; k <= 24; ++k) {
+        const double weight =
+            sampler.occurrenceProb(k) / static_cast<double>(per_k);
+        for (uint64_t s = 0; s < per_k; ++s) {
+            const auto sample = sampler.sample(k, rng);
+            const int hw =
+                static_cast<int>(sample.defects.size());
+            before.add(hw, weight);
+            if (hw > 10) {
+                above10_before += weight;
+            }
+
+            promatch_pipe->decode(sample.defects);
+            const int hw_pm = promatch_pipe->lastTrace().hwAfter;
+            after_promatch.add(hw_pm, weight);
+            if (hw_pm > 10) {
+                above10_pm += weight;
+            }
+
+            smith_pipe->decode(sample.defects);
+            const int hw_sm = smith_pipe->lastTrace().hwAfter;
+            after_smith.add(hw_sm, weight);
+            if (hw_sm > 10) {
+                above10_smith += weight;
+            }
+        }
+    }
+
+    qec::ReportTable table(
+        "HW distribution before/after predecoding, d = " +
+            std::to_string(distance) + ", p = 1e-4",
+        {"HW", "before", "after Promatch", "after Smith"});
+    const int max_bin =
+        std::max(before.maxBin(),
+                 std::max(after_promatch.maxBin(),
+                          after_smith.maxBin()));
+    const double total = before.totalWeight();
+    for (int hw = 0; hw <= max_bin; ++hw) {
+        table.addRow(
+            {std::to_string(hw),
+             qec::formatSci(before.probabilityAt(hw, total)),
+             qec::formatSci(
+                 after_promatch.probabilityAt(hw, total)),
+             qec::formatSci(
+                 after_smith.probabilityAt(hw, total))});
+    }
+    table.print();
+
+    std::printf(
+        "\nP(HW > 10): before = %s, after Promatch = %s, after "
+        "Smith = %s\nShape check (paper Figs. 16/17): Promatch "
+        "leaves zero mass above HW 10;\nSmith leaves a tail the "
+        "main decoder cannot handle.\n",
+        qec::formatSci(above10_before / total).c_str(),
+        qec::formatSci(above10_pm / total).c_str(),
+        qec::formatSci(above10_smith / total).c_str());
+}
+
+} // namespace qecbench
+
+#endif // QEC_BENCH_FIG_HW_REDUCTION_COMMON_HPP

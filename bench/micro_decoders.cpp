@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software substrate: frame
+ * simulation throughput, DEM construction, path-table builds, and
+ * per-decoder software decode latency as a function of syndrome
+ * Hamming weight.
+ *
+ * These measure *host software* speed (how fast the reproduction
+ * itself runs), not the modeled 250 MHz hardware latency of
+ * Tables 4/5.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "qec/qec.hpp"
+
+using namespace qec;
+
+namespace
+{
+
+/** Pre-sampled syndromes of a given k for decoder benchmarks. */
+std::vector<std::vector<uint32_t>>
+sampleSyndromes(const ExperimentContext &ctx, int k, int count)
+{
+    ImportanceSampler sampler(ctx.dem(), 24);
+    Rng rng(0xbe7c);
+    std::vector<std::vector<uint32_t>> out;
+    for (int i = 0; i < count; ++i) {
+        out.push_back(sampler.sample(k, rng).defects);
+    }
+    return out;
+}
+
+void
+BM_FrameSimulatorShots(benchmark::State &state)
+{
+    const auto &ctx = ExperimentContext::get(
+        static_cast<int>(state.range(0)), 1e-4);
+    FrameSimulator sim(ctx.experiment().circuit);
+    Rng rng(1);
+    BatchResult batch;
+    for (auto _ : state) {
+        sim.sampleBatch(rng, batch);
+        benchmark::DoNotOptimize(batch.detectors.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrameSimulatorShots)->Arg(5)->Arg(9)->Arg(13);
+
+void
+BM_BuildDem(benchmark::State &state)
+{
+    SurfaceCodeLayout layout(static_cast<int>(state.range(0)));
+    const MemoryExperiment exp = generateMemoryZ(
+        layout, layout.distance(), NoiseParams::uniform(1e-4));
+    for (auto _ : state) {
+        const DetectorErrorModel dem =
+            buildDetectorErrorModel(exp.circuit);
+        benchmark::DoNotOptimize(dem.mechanisms().size());
+    }
+}
+BENCHMARK(BM_BuildDem)->Arg(5)->Arg(9)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_PathTableBuild(benchmark::State &state)
+{
+    const auto &ctx = ExperimentContext::get(
+        static_cast<int>(state.range(0)), 1e-4);
+    for (auto _ : state) {
+        PathTable paths(ctx.graph());
+        benchmark::DoNotOptimize(paths.numDetectors());
+    }
+}
+BENCHMARK(BM_PathTableBuild)->Arg(5)->Arg(9)->Unit(
+    benchmark::kMillisecond);
+
+void
+decoderBench(benchmark::State &state, const char *name)
+{
+    const auto &ctx = ExperimentContext::get(13, 1e-4);
+    auto decoder = makeDecoder(name, ctx.graph(), ctx.paths());
+    const auto syndromes = sampleSyndromes(
+        ctx, static_cast<int>(state.range(0)), 64);
+    size_t i = 0;
+    for (auto _ : state) {
+        const DecodeResult result =
+            decoder->decode(syndromes[i++ % syndromes.size()]);
+        benchmark::DoNotOptimize(result.predictedObs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DecodeMwpm(benchmark::State &state)
+{
+    decoderBench(state, "mwpm");
+}
+BENCHMARK(BM_DecodeMwpm)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_DecodePromatchAstrea(benchmark::State &state)
+{
+    decoderBench(state, "promatch_astrea");
+}
+BENCHMARK(BM_DecodePromatchAstrea)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_DecodeAstreaG(benchmark::State &state)
+{
+    decoderBench(state, "astrea_g");
+}
+BENCHMARK(BM_DecodeAstreaG)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_DecodeUnionFind(benchmark::State &state)
+{
+    decoderBench(state, "union_find");
+}
+BENCHMARK(BM_DecodeUnionFind)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_BlossomRandomDense(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(42);
+    MatchingProblem problem;
+    problem.n = n;
+    problem.pairWeight.assign(static_cast<size_t>(n) * n, kNoEdge);
+    problem.boundaryWeight.assign(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        problem.boundaryWeight[i] = 1.0 + rng.nextDouble();
+        for (int j = i + 1; j < n; ++j) {
+            problem.setPair(i, j, 1.0 + 10.0 * rng.nextDouble());
+        }
+    }
+    for (auto _ : state) {
+        const MatchingSolution solution = solveBlossom(problem);
+        benchmark::DoNotOptimize(solution.totalWeight);
+    }
+}
+BENCHMARK(BM_BlossomRandomDense)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3: the Clique NSM predecoder cannot rescue a HW <= 10 main
+ * decoder, and adds nothing in front of Astrea-G.
+ *
+ * Paper values at p = 1e-4:
+ *   Clique + Astrea   d11 2.2e-5 (1e8x)   d13 > 1e-4 (> 1e9x)
+ *   Clique + AG       d11 4.5e-13 (2.5x)  d13 1.4e-13 (43x)
+ *   Astrea-G          d11 4.5e-13 (2.5x)  d13 1.4e-13 (43x)
+ */
+
+#include "bench_common.hpp"
+
+using namespace qec;
+using namespace qecbench;
+
+int
+main()
+{
+    banner("Table 3", "Clique predecoder LER, p = 1e-4");
+
+    ReportTable table(
+        "Table 3: Clique LER at p = 1e-4 (measured vs paper)",
+        {"Decoder", "d=11", "paper d=11", "d=13", "paper d=13"});
+
+    const auto &ctx11 = ExperimentContext::get(11, 1e-4);
+    const auto &ctx13 = ExperimentContext::get(13, 1e-4);
+
+    const struct
+    {
+        const char *config;
+        const char *label;
+        double paper11;
+        double paper13;
+    } rows[] = {
+        {"clique_astrea", "Clique + Astrea", 2.2e-5, 1e-4},
+        {"clique_ag", "Clique + AG", 4.5e-13, 1.4e-13},
+        {"astrea_g", "Astrea-G (AG)", 4.5e-13, 1.4e-13},
+    };
+
+    double ler_ag11 = 0.0, ler_ag13 = 0.0;
+    double ler_cag11 = 0.0, ler_cag13 = 0.0;
+    for (const auto &row : rows) {
+        const double l11 = runLer(ctx11, row.config, 1200).ler;
+        const double l13 = runLer(ctx13, row.config, 1200).ler;
+        if (std::string(row.config) == "astrea_g") {
+            ler_ag11 = l11;
+            ler_ag13 = l13;
+        } else if (std::string(row.config) == "clique_ag") {
+            ler_cag11 = l11;
+            ler_cag13 = l13;
+        }
+        table.addRow({row.label, formatSci(l11),
+                      formatSci(row.paper11), formatSci(l13),
+                      formatSci(row.paper13)});
+        std::printf("  done: %s\n", row.label);
+    }
+    table.print();
+
+    std::printf("\nShape checks:\n"
+                " - Clique+Astrea sits at the physical-error scale "
+                "(paper: ~1e-5 .. >1e-4):\n"
+                "   Clique forwards every complex high-HW syndrome "
+                "and Astrea aborts on it.\n"
+                " - Clique+AG tracks AG itself (measured %s vs %s "
+                "at d=11, %s vs %s at d=13):\n"
+                "   an NSM predecoder cannot improve its main "
+                "decoder.\n",
+                formatSci(ler_cag11).c_str(),
+                formatSci(ler_ag11).c_str(),
+                formatSci(ler_cag13).c_str(),
+                formatSci(ler_ag13).c_str());
+    return 0;
+}

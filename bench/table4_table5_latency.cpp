@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tables 4 and 5: latency of predecoding (Table 4) and of the full
+ * Promatch + Astrea decode (Table 5) on high-HW syndromes
+ * (HW >= 10), modeled at 250 MHz.
+ *
+ * Paper values (ns):
+ *   Table 4 (predecode):        d11 max 824, avg 68.2;
+ *                               d13 max 928, avg 70.0
+ *   Table 5 (predecode+main):   d11 max 904, avg 524.2;
+ *                               d13 max 960, avg 526.0
+ */
+
+#include "bench_common.hpp"
+
+using namespace qec;
+using namespace qecbench;
+
+int
+main()
+{
+    banner("Tables 4 & 5", "Promatch latency on high-HW syndromes");
+
+    ReportTable t4("Table 4: predecode latency of high-HW "
+                   "syndromes (ns)",
+                   {"d", "max", "avg", "paper max", "paper avg"});
+    ReportTable t5("Table 5: full decode latency of high-HW "
+                   "syndromes (ns)",
+                   {"d", "max", "avg", "paper max", "paper avg"});
+
+    const struct
+    {
+        int d;
+        double paper4_max, paper4_avg, paper5_max, paper5_avg;
+    } rows[] = {
+        {11, 824.0, 68.2, 904.0, 524.2},
+        {13, 928.0, 70.0, 960.0, 526.0},
+    };
+
+    for (const auto &row : rows) {
+        const auto &ctx = ExperimentContext::get(row.d, 1e-4);
+        auto decoder = makeDecoder("promatch_astrea", ctx.graph(),
+                                   ctx.paths());
+        auto *pipe =
+            dynamic_cast<PredecodedDecoder *>(decoder.get());
+
+        ImportanceSampler sampler(ctx.dem(), 24);
+        Rng rng(0x1a7e);
+        WeightedStats predecode_ns, total_ns;
+        const uint64_t per_k = scaledSamples(400);
+        for (int k = 5; k <= 24; ++k) {
+            const double weight = sampler.occurrenceProb(k) /
+                                  static_cast<double>(per_k);
+            for (uint64_t s = 0; s < per_k; ++s) {
+                const auto sample = sampler.sample(k, rng);
+                // High-HW = the predecoder-engaging population.
+                if (sample.defects.size() <= 10) {
+                    continue;
+                }
+                const DecodeResult result =
+                    pipe->decode(sample.defects);
+                // The pipeline aborts at the effective budget
+                // (960 ns), so observed latencies cap there.
+                const double cap =
+                    LatencyConfig{}.effectiveBudgetNs();
+                predecode_ns.add(
+                    std::min(pipe->lastTrace().predecodeNs, cap),
+                    weight);
+                total_ns.add(std::min(result.latencyNs, cap),
+                             weight);
+            }
+        }
+
+        t4.addRow({std::to_string(row.d),
+                   formatFixed(predecode_ns.max(), 0),
+                   formatFixed(predecode_ns.mean(), 1),
+                   formatFixed(row.paper4_max, 0),
+                   formatFixed(row.paper4_avg, 1)});
+        t5.addRow({std::to_string(row.d),
+                   formatFixed(total_ns.max(), 0),
+                   formatFixed(total_ns.mean(), 1),
+                   formatFixed(row.paper5_max, 0),
+                   formatFixed(row.paper5_avg, 1)});
+        std::printf("  done: d=%d (%zu high-HW samples)\n", row.d,
+                    predecode_ns.count());
+    }
+    t4.print();
+    t5.print();
+    std::printf(
+        "\nShape checks: predecode averages sit at tens of ns "
+        "(most high-HW syndromes\nneed one or two rounds of Step "
+        "1); full-decode averages are dominated by the\n~500 ns "
+        "Astrea pass at HW 10; maxima approach but respect the "
+        "960 ns budget.\n");
+    return 0;
+}

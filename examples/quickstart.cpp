@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: build a distance-5 surface code memory experiment,
+ * decode sampled syndromes with Promatch + Astrea, and estimate the
+ * logical error rate two ways.
+ *
+ * Run:  ./example_quickstart [distance] [p]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qec/qec.hpp"
+
+int
+main(int argc, char **argv)
+{
+    const int distance = argc > 1 ? std::atoi(argv[1]) : 5;
+    const double p = argc > 2 ? std::atof(argv[2]) : 1e-3;
+
+    std::printf("Building distance-%d memory-Z experiment at "
+                "p = %g ...\n",
+                distance, p);
+    const auto &ctx = qec::ExperimentContext::get(distance, p);
+    std::printf("  %u data qubits, %u stabilizers, %u detectors, "
+                "%zu decoding-graph edges\n",
+                ctx.layout().numDataQubits(),
+                ctx.layout().numStabilizers(),
+                ctx.graph().numDetectors(),
+                ctx.graph().edges().size());
+
+    // Decode a handful of Monte-Carlo shots by hand.
+    qec::FrameSimulator simulator(ctx.experiment().circuit);
+    qec::Rng rng(2024);
+    qec::BatchResult batch;
+    simulator.sampleBatch(rng, batch);
+
+    auto decoder = qec::makeDecoder("promatch_astrea", ctx.graph(),
+                                    ctx.paths());
+    std::printf("\nFirst 8 sampled shots through %s:\n",
+                decoder->name().c_str());
+    for (int lane = 0; lane < 8; ++lane) {
+        const auto defects =
+            batch.detectorBits(lane).onesIndices();
+        const qec::DecodeResult result =
+            decoder->decode(defects);
+        const bool ok = !result.aborted &&
+                        result.predictedObs ==
+                            batch.observableMask(lane);
+        std::printf("  shot %d: HW=%2zu  latency=%6.1f ns  %s\n",
+                    lane, defects.size(), result.latencyNs,
+                    ok ? "corrected" : "LOGICAL ERROR");
+    }
+
+    // Estimate the LER with direct Monte Carlo ...
+    const qec::DirectMcResult direct =
+        qec::estimateLerDirect(ctx, *decoder, 20000, 7);
+    std::printf("\nDirect Monte Carlo:    LER = %.3e  "
+                "(%llu failures / %llu shots)\n",
+                direct.ler,
+                static_cast<unsigned long long>(direct.failures),
+                static_cast<unsigned long long>(direct.shots));
+
+    // ... and with the paper's Eq. 1 importance sampler.
+    qec::LerOptions options;
+    options.kMax = 16;
+    options.samplesPerK = 1000;
+    const qec::LerEstimate est =
+        qec::estimateLer(ctx, *decoder, options);
+    std::printf("Importance sampling:   LER = %.3e  "
+                "(expected faults/shot = %.2f)\n",
+                est.ler, est.expectedFaults);
+    return 0;
+}

@@ -1,0 +1,165 @@
+#include "qec/circuit/circuit.hpp"
+
+#include <algorithm>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+bool
+opIsNoise(OpType type)
+{
+    switch (type) {
+      case OpType::XError:
+      case OpType::ZError:
+      case OpType::Depolarize1:
+      case OpType::Depolarize2:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(OpType type)
+{
+    switch (type) {
+      case OpType::R: return "R";
+      case OpType::H: return "H";
+      case OpType::CX: return "CX";
+      case OpType::M: return "M";
+      case OpType::XError: return "X_ERROR";
+      case OpType::ZError: return "Z_ERROR";
+      case OpType::Depolarize1: return "DEPOLARIZE1";
+      case OpType::Depolarize2: return "DEPOLARIZE2";
+      case OpType::Tick: return "TICK";
+      case OpType::Detector: return "DETECTOR";
+      case OpType::Observable: return "OBSERVABLE";
+    }
+    QEC_PANIC("invalid OpType");
+}
+
+void
+Circuit::append(Instruction inst)
+{
+    ops.push_back(std::move(inst));
+}
+
+void
+Circuit::appendReset(const std::vector<uint32_t> &qubits)
+{
+    append({OpType::R, 0.0, qubits, 0});
+}
+
+void
+Circuit::appendH(const std::vector<uint32_t> &qubits)
+{
+    append({OpType::H, 0.0, qubits, 0});
+}
+
+void
+Circuit::appendCx(const std::vector<uint32_t> &pairs)
+{
+    QEC_ASSERT(pairs.size() % 2 == 0, "CX needs (control,target) pairs");
+    append({OpType::CX, 0.0, pairs, 0});
+}
+
+uint32_t
+Circuit::appendMeasure(const std::vector<uint32_t> &qubits,
+                       double flip_prob)
+{
+    const uint32_t first = numMeasurements_;
+    numMeasurements_ += static_cast<uint32_t>(qubits.size());
+    append({OpType::M, flip_prob, qubits, 0});
+    return first;
+}
+
+void
+Circuit::appendXError(const std::vector<uint32_t> &qubits, double p)
+{
+    append({OpType::XError, p, qubits, 0});
+}
+
+void
+Circuit::appendZError(const std::vector<uint32_t> &qubits, double p)
+{
+    append({OpType::ZError, p, qubits, 0});
+}
+
+void
+Circuit::appendDepolarize1(const std::vector<uint32_t> &qubits, double p)
+{
+    append({OpType::Depolarize1, p, qubits, 0});
+}
+
+void
+Circuit::appendDepolarize2(const std::vector<uint32_t> &pairs, double p)
+{
+    QEC_ASSERT(pairs.size() % 2 == 0,
+               "DEPOLARIZE2 needs (a,b) pairs");
+    append({OpType::Depolarize2, p, pairs, 0});
+}
+
+void
+Circuit::appendTick()
+{
+    append({OpType::Tick, 0.0, {}, 0});
+}
+
+void
+Circuit::appendDetector(const std::vector<uint32_t> &record_indices)
+{
+    ++numDetectors_;
+    append({OpType::Detector, 0.0, record_indices, 0});
+}
+
+void
+Circuit::appendObservable(uint32_t id,
+                          const std::vector<uint32_t> &record_indices)
+{
+    numObservables_ = std::max(numObservables_, id + 1);
+    append({OpType::Observable, 0.0, record_indices, id});
+}
+
+void
+Circuit::validate() const
+{
+    uint32_t measured = 0;
+    for (const Instruction &inst : ops) {
+        switch (inst.type) {
+          case OpType::Detector:
+          case OpType::Observable:
+            for (uint32_t rec : inst.targets) {
+                QEC_ASSERT(rec < measured,
+                           "detector/observable references a "
+                           "measurement that has not happened yet");
+            }
+            break;
+          case OpType::M:
+            for (uint32_t q : inst.targets) {
+                QEC_ASSERT(q < numQubits_, "qubit index out of range");
+            }
+            measured += static_cast<uint32_t>(inst.targets.size());
+            break;
+          case OpType::CX:
+          case OpType::Depolarize2:
+            QEC_ASSERT(inst.targets.size() % 2 == 0,
+                       "pairwise op with odd target count");
+            [[fallthrough]];
+          default:
+            for (uint32_t q : inst.targets) {
+                QEC_ASSERT(q < numQubits_, "qubit index out of range");
+            }
+            break;
+        }
+        if (opIsNoise(inst.type) || inst.type == OpType::M) {
+            QEC_ASSERT(inst.arg >= 0.0 && inst.arg <= 1.0,
+                       "probability argument out of [0,1]");
+        }
+    }
+    QEC_ASSERT(measured == numMeasurements_,
+               "measurement count metadata mismatch");
+}
+
+} // namespace qec

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Line-oriented text serialization for circuits.
+ *
+ * Format (one instruction per line, '#' comments):
+ *
+ *     QUBITS 25
+ *     R 0 1 2
+ *     DEPOLARIZE1(0.0001) 0 1 2
+ *     CX 0 9 1 10
+ *     M(0.0001) 9 10
+ *     DETECTOR 0 1
+ *     OBSERVABLE(0) 4 5 6
+ *     TICK
+ *
+ * DETECTOR/OBSERVABLE targets are absolute measurement-record indices.
+ */
+
+#include "qec/circuit/circuit.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+std::string
+formatArg(double arg)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", arg);
+    return buf;
+}
+
+} // namespace
+
+std::string
+circuitToText(const Circuit &circuit)
+{
+    std::ostringstream out;
+    out << "QUBITS " << circuit.numQubits() << "\n";
+    for (const Instruction &inst : circuit.instructions()) {
+        out << opName(inst.type);
+        if (inst.type == OpType::Observable) {
+            out << '(' << inst.id << ')';
+        } else if (opIsNoise(inst.type) ||
+                   (inst.type == OpType::M && inst.arg != 0.0)) {
+            out << '(' << formatArg(inst.arg) << ')';
+        }
+        for (uint32_t t : inst.targets) {
+            out << ' ' << t;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+Circuit
+circuitFromText(const std::string &text)
+{
+    Circuit circuit;
+    std::istringstream in(text);
+    std::string line;
+    bool saw_qubits = false;
+    while (std::getline(in, line)) {
+        // Strip comments and whitespace-only lines.
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) {
+            line.resize(hash);
+        }
+        std::istringstream ls(line);
+        std::string head;
+        if (!(ls >> head)) {
+            continue;
+        }
+
+        if (head == "QUBITS") {
+            uint32_t n = 0;
+            if (!(ls >> n)) {
+                QEC_FATAL("QUBITS line missing count");
+            }
+            circuit.setNumQubits(n);
+            saw_qubits = true;
+            continue;
+        }
+        if (!saw_qubits) {
+            QEC_FATAL("circuit text must start with a QUBITS line");
+        }
+
+        // Split "NAME(arg)" into name and argument.
+        double arg = 0.0;
+        uint32_t obs_id = 0;
+        std::string name = head;
+        const size_t paren = head.find('(');
+        if (paren != std::string::npos) {
+            name = head.substr(0, paren);
+            const std::string arg_text =
+                head.substr(paren + 1, head.size() - paren - 2);
+            if (name == "OBSERVABLE") {
+                obs_id = static_cast<uint32_t>(std::stoul(arg_text));
+            } else {
+                arg = std::stod(arg_text);
+            }
+        }
+
+        std::vector<uint32_t> targets;
+        uint32_t t;
+        while (ls >> t) {
+            targets.push_back(t);
+        }
+
+        if (name == "R") {
+            circuit.appendReset(targets);
+        } else if (name == "H") {
+            circuit.appendH(targets);
+        } else if (name == "CX") {
+            circuit.appendCx(targets);
+        } else if (name == "M") {
+            circuit.appendMeasure(targets, arg);
+        } else if (name == "X_ERROR") {
+            circuit.appendXError(targets, arg);
+        } else if (name == "Z_ERROR") {
+            circuit.appendZError(targets, arg);
+        } else if (name == "DEPOLARIZE1") {
+            circuit.appendDepolarize1(targets, arg);
+        } else if (name == "DEPOLARIZE2") {
+            circuit.appendDepolarize2(targets, arg);
+        } else if (name == "TICK") {
+            circuit.appendTick();
+        } else if (name == "DETECTOR") {
+            circuit.appendDetector(targets);
+        } else if (name == "OBSERVABLE") {
+            circuit.appendObservable(obs_id, targets);
+        } else {
+            QEC_FATAL("unknown instruction in circuit text");
+        }
+    }
+    circuit.validate();
+    return circuit;
+}
+
+} // namespace qec

@@ -1,0 +1,40 @@
+#include "qec/decoders/astrea.hpp"
+
+#include "qec/matching/defect_graph.hpp"
+#include "qec/matching/exhaustive.hpp"
+
+namespace qec
+{
+
+DecodeResult
+AstreaDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    const int hw = static_cast<int>(defects.size());
+    if (hw == 0) {
+        result.latencyNs =
+            latency_.astreaFixedCycles * latency_.nsPerCycle;
+        return result;
+    }
+    if (hw > latency_.astreaMaxHw) {
+        // Beyond the brute-force engine's reach: give up, which the
+        // harness counts as a logical error.
+        result.aborted = true;
+        result.latencyNs = latency_.budgetNs;
+        return result;
+    }
+    const DefectGraph dg = buildDefectGraph(defects, paths_);
+    const MatchingSolution solution = solveExhaustive(dg.problem);
+    if (!solution.valid) {
+        result.aborted = true;
+        result.latencyNs = latency_.budgetNs;
+        return result;
+    }
+    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.weight = solution.totalWeight;
+    result.latencyNs = latency_.astreaLatencyNs(hw);
+    result.chainLengths = dg.chainLengths(paths_, solution);
+    return result;
+}
+
+} // namespace qec

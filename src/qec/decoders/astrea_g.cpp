@@ -1,0 +1,237 @@
+#include "qec/decoders/astrea_g.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qec/matching/defect_graph.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Budgeted branch-and-bound over pairings of a pruned defect graph. */
+class NearExhaustiveSearch
+{
+  public:
+    NearExhaustiveSearch(const MatchingProblem &problem,
+                         long long budget, bool use_bound)
+        : problem_(problem), budget_(budget), useBound(use_bound),
+          mate(problem.n, -2), bestMate(problem.n, -2)
+    {
+        // Per-defect candidate lists sorted by ascending weight, the
+        // "prioritized matchings" of Astrea-G's greedy order.
+        options.resize(problem_.n);
+        minOption.assign(problem_.n, kNoEdge);
+        for (int i = 0; i < problem_.n; ++i) {
+            if (problem_.boundaryWeight[i] != kNoEdge) {
+                options[i].push_back({problem_.boundaryWeight[i], -1});
+            }
+            for (int j = 0; j < problem_.n; ++j) {
+                if (j != i && problem_.pair(i, j) != kNoEdge) {
+                    options[i].push_back({problem_.pair(i, j), j});
+                }
+            }
+            std::sort(options[i].begin(), options[i].end());
+            if (!options[i].empty()) {
+                minOption[i] = options[i].front().first;
+            }
+        }
+    }
+
+    /** Run the search; returns best matching found (maybe greedy). */
+    MatchingSolution
+    run()
+    {
+        recurse(0.0);
+        MatchingSolution solution;
+        if (best == kNoEdge) {
+            // Not even a greedy completion existed.
+            solution.valid = false;
+            return solution;
+        }
+        solution.mate = bestMate;
+        solution.totalWeight = best;
+        solution.valid = true;
+        return solution;
+    }
+
+    long long statesExplored() const { return states; }
+    bool truncated() const { return hitBudget; }
+
+  private:
+    /** Admissible lower bound on completing the partial matching. */
+    double
+    remainingBound() const
+    {
+        double bound = 0.0;
+        for (int i = 0; i < problem_.n; ++i) {
+            if (mate[i] == -2) {
+                bound += minOption[i] * 0.5;
+            }
+        }
+        return bound;
+    }
+
+    /** Greedy completion used when the budget runs out. */
+    void
+    greedyComplete(double weight)
+    {
+        std::vector<int> saved = mate;
+        for (int i = 0; i < problem_.n; ++i) {
+            if (mate[i] != -2) {
+                continue;
+            }
+            double best_w = kNoEdge;
+            int best_j = -3;
+            for (const auto &[w, j] : options[i]) {
+                if (j == -1 || mate[j] == -2) {
+                    best_w = w;
+                    best_j = j;
+                    break; // Options are sorted by weight.
+                }
+            }
+            if (best_j == -3) {
+                mate = saved;
+                return; // Dead end; keep previous best.
+            }
+            mate[i] = best_j;
+            if (best_j >= 0) {
+                mate[best_j] = i;
+            }
+            weight += best_w;
+        }
+        if (weight < best) {
+            best = weight;
+            bestMate = mate;
+        }
+        mate = saved;
+    }
+
+    void
+    recurse(double weight)
+    {
+        if (hitBudget) {
+            return;
+        }
+        if (++states > budget_) {
+            hitBudget = true;
+            return;
+        }
+        if (weight + (useBound ? remainingBound() : 0.0) >= best) {
+            return;
+        }
+        int first = 0;
+        const int n = problem_.n;
+        while (first < n && mate[first] != -2) {
+            ++first;
+        }
+        if (first == n) {
+            if (weight < best) {
+                best = weight;
+                bestMate = mate;
+            }
+            return;
+        }
+        bool expanded = false;
+        for (const auto &[w, j] : options[first]) {
+            if (j >= 0 && mate[j] != -2) {
+                continue;
+            }
+            mate[first] = j;
+            if (j >= 0) {
+                mate[j] = first;
+            }
+            expanded = true;
+            recurse(weight + w);
+            mate[first] = -2;
+            if (j >= 0) {
+                mate[j] = -2;
+            }
+            if (hitBudget) {
+                // Out of budget mid-expansion: finish this branch
+                // greedily so we always return some matching.
+                mate[first] = j;
+                if (j >= 0) {
+                    mate[j] = first;
+                }
+                greedyComplete(weight + w);
+                mate[first] = -2;
+                if (j >= 0) {
+                    mate[j] = -2;
+                }
+                return;
+            }
+        }
+        if (!expanded) {
+            return; // No options for this defect: dead branch.
+        }
+    }
+
+    const MatchingProblem &problem_;
+    long long budget_;
+    bool useBound;
+    std::vector<int> mate;
+    std::vector<int> bestMate;
+    std::vector<std::vector<std::pair<double, int>>> options;
+    std::vector<double> minOption;
+    double best = kNoEdge;
+    long long states = 0;
+    bool hitBudget = false;
+};
+
+} // namespace
+
+DecodeResult
+AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    statesExplored = 0;
+    searchTruncated = false;
+    const int hw = static_cast<int>(defects.size());
+    if (hw == 0) {
+        result.latencyNs =
+            latency_.astreaFixedCycles * latency_.nsPerCycle;
+        return result;
+    }
+
+    DefectGraph dg = buildDefectGraph(defects, paths_);
+
+    // Prune pair edges whose chain probability is below the LER
+    // scale; boundary edges always survive so a matching exists.
+    const double max_weight =
+        -std::log(latency_.astreaGPruneProbability);
+    for (int i = 0; i < dg.problem.n; ++i) {
+        for (int j = i + 1; j < dg.problem.n; ++j) {
+            if (dg.problem.pair(i, j) != kNoEdge &&
+                dg.problem.pair(i, j) > max_weight) {
+                dg.problem.setPair(i, j, kNoEdge);
+            }
+        }
+    }
+
+    NearExhaustiveSearch search(dg.problem,
+                                latency_.astreaGSearchBudget,
+                                latency_.astreaGUseBound);
+    const MatchingSolution solution = search.run();
+    statesExplored = search.statesExplored();
+    searchTruncated = search.truncated();
+    if (!solution.valid) {
+        result.aborted = true;
+        result.latencyNs = latency_.budgetNs;
+        return result;
+    }
+    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.weight = solution.totalWeight;
+    const long long cycles =
+        statesExplored / latency_.astreaParallelism +
+        latency_.astreaFixedCycles;
+    result.latencyNs = static_cast<double>(cycles) *
+                       latency_.nsPerCycle;
+    result.chainLengths = dg.chainLengths(paths_, solution);
+    return result;
+}
+
+} // namespace qec

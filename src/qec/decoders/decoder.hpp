@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Common decoder interface.
+ *
+ * A decoder receives a syndrome (the sorted list of flipped detector
+ * indices) and predicts which logical observables flipped. Real-time
+ * decoders also report a modeled hardware latency; exceeding the
+ * budget marks the result aborted, which the harness counts as a
+ * logical error (§6.4 of the paper).
+ */
+
+#ifndef QEC_DECODERS_DECODER_HPP
+#define QEC_DECODERS_DECODER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/path_table.hpp"
+#include "qec/matching/matching_problem.hpp"
+
+namespace qec
+{
+
+/** Outcome of decoding one syndrome. */
+struct DecodeResult
+{
+    /** Predicted observable flips (bit o = observable o). */
+    uint64_t predictedObs = 0;
+    /** Total weight of the chosen correction (lower = more likely). */
+    double weight = 0.0;
+    /** Modeled hardware latency; 0 for software baselines. */
+    double latencyNs = 0.0;
+    /** True if the decoder gave up or blew the deadline. */
+    bool aborted = false;
+    /** False for software (non-real-time) decoders. */
+    bool realTime = true;
+    /** Error-chain lengths of the final matching (Fig. 5 stats). */
+    std::vector<int> chainLengths;
+};
+
+/** Abstract decoder over a fixed decoding graph. */
+class Decoder
+{
+  public:
+    Decoder(const DecodingGraph &graph, const PathTable &paths)
+        : graph_(graph), paths_(paths)
+    {
+    }
+    virtual ~Decoder() = default;
+
+    /** Decode one syndrome given as sorted flipped-detector indices. */
+    virtual DecodeResult decode(
+        const std::vector<uint32_t> &defects) = 0;
+
+    /** Short identifier used in reports (e.g. "Promatch||AG"). */
+    virtual std::string name() const = 0;
+
+    const DecodingGraph &graph() const { return graph_; }
+    const PathTable &paths() const { return paths_; }
+
+  protected:
+    const DecodingGraph &graph_;
+    const PathTable &paths_;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODERS_DECODER_HPP

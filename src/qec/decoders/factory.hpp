@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Decoder-stack factory.
+ *
+ * Builds every decoder configuration evaluated in the paper by name,
+ * so the benches and examples share one construction path:
+ *
+ *   "mwpm"               idealized software MWPM
+ *   "astrea"             Astrea alone (exact, HW <= 10)
+ *   "astrea_g"           Astrea-G alone
+ *   "union_find"         union-find / AFS-class decoder
+ *   "promatch_astrea"    Promatch + Astrea (the paper's "Promatch")
+ *   "smith_astrea"       Smith et al. + Astrea
+ *   "clique_astrea"      Clique + Astrea (NSM)
+ *   "hierarchical_astrea" Hierarchical + Astrea (NSM)
+ *   "clique_ag"          Clique + Astrea-G (NSM)
+ *   "promatch_par_ag"    (Promatch + Astrea) || Astrea-G
+ *   "smith_par_ag"       (Smith + Astrea) || Astrea-G
+ */
+
+#ifndef QEC_DECODERS_FACTORY_HPP
+#define QEC_DECODERS_FACTORY_HPP
+
+#include <memory>
+#include <string>
+
+#include "qec/decoders/decoder.hpp"
+#include "qec/decoders/latency.hpp"
+#include "qec/predecode/promatch.hpp"
+
+namespace qec
+{
+
+/** Create a decoder stack by configuration name; fatal on unknown. */
+std::unique_ptr<Decoder> makeDecoder(
+    const std::string &name, const DecodingGraph &graph,
+    const PathTable &paths, const LatencyConfig &latency = {},
+    const PromatchConfig &promatch = {});
+
+/** All configuration names accepted by makeDecoder. */
+std::vector<std::string> decoderNames();
+
+} // namespace qec
+
+#endif // QEC_DECODERS_FACTORY_HPP

@@ -1,0 +1,43 @@
+#include "qec/decoders/latency.hpp"
+
+namespace qec
+{
+
+long long
+LatencyConfig::matchingCount(int hw)
+{
+    if (hw <= 0) {
+        return 0;
+    }
+    // Even HW: (hw-1)!! pairings (945 at HW = 10, as in §2.3).
+    // Odd HW: one defect must take the boundary; hw!! pairings.
+    long long count = 1;
+    int start = (hw % 2 == 0) ? hw - 1 : hw;
+    for (int k = start; k > 1; k -= 2) {
+        count *= k;
+    }
+    return count;
+}
+
+long long
+LatencyConfig::astreaCycles(int hw) const
+{
+    if (hw > astreaMaxHw) {
+        return -1;
+    }
+    if (hw <= 0) {
+        return astreaFixedCycles;
+    }
+    const long long m = matchingCount(hw);
+    return (m + astreaParallelism - 1) / astreaParallelism +
+           astreaFixedCycles;
+}
+
+double
+LatencyConfig::astreaLatencyNs(int hw) const
+{
+    const long long cycles = astreaCycles(hw);
+    return cycles < 0 ? -1.0 : cycles * nsPerCycle;
+}
+
+} // namespace qec

@@ -1,0 +1,29 @@
+#include "qec/decoders/mwpm_decoder.hpp"
+
+#include "qec/matching/blossom.hpp"
+#include "qec/matching/defect_graph.hpp"
+
+namespace qec
+{
+
+DecodeResult
+MwpmDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult result;
+    result.realTime = false;
+    if (defects.empty()) {
+        return result;
+    }
+    const DefectGraph dg = buildDefectGraph(defects, paths_);
+    const MatchingSolution solution = solveBlossom(dg.problem);
+    if (!solution.valid) {
+        result.aborted = true;
+        return result;
+    }
+    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.weight = solution.totalWeight;
+    result.chainLengths = dg.chainLengths(paths_, solution);
+    return result;
+}
+
+} // namespace qec

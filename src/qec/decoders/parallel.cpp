@@ -1,0 +1,51 @@
+#include "qec/decoders/parallel.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+DecodeResult
+ParallelDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    DecodeResult ra = a->decode(defects);
+    DecodeResult rb = b->decode(defects);
+
+    const double compare_ns =
+        latency_.compareCycles * latency_.nsPerCycle;
+    // Each side is cut off at the effective budget (that is what
+    // the 10-cycle comparison reserve is for), so an aborted or
+    // overlong side cannot push the comparison past the deadline.
+    const double cutoff = latency_.effectiveBudgetNs();
+    const double latency =
+        std::max(std::min(ra.latencyNs, cutoff),
+                 std::min(rb.latencyNs, cutoff)) +
+        compare_ns;
+
+    DecodeResult result;
+    if (ra.aborted && rb.aborted) {
+        result.aborted = true;
+        result.latencyNs = latency_.budgetNs;
+        return result;
+    }
+    if (ra.aborted) {
+        winner = 1;
+        result = std::move(rb);
+    } else if (rb.aborted) {
+        winner = 0;
+        result = std::move(ra);
+    } else if (ra.weight <= rb.weight) {
+        winner = 0;
+        result = std::move(ra);
+    } else {
+        winner = 1;
+        result = std::move(rb);
+    }
+    result.latencyNs = latency;
+    if (latency > latency_.budgetNs) {
+        result.aborted = true;
+    }
+    return result;
+}
+
+} // namespace qec

@@ -1,0 +1,70 @@
+#include "qec/decoders/pipeline.hpp"
+
+namespace qec
+{
+
+DecodeResult
+PredecodedDecoder::decode(const std::vector<uint32_t> &defects)
+{
+    trace = {};
+    trace.hwBefore = static_cast<int>(defects.size());
+
+    // Low-HW syndromes skip the predecoder entirely (§3).
+    if (static_cast<int>(defects.size()) <= latency_.astreaMaxHw) {
+        DecodeResult result = main_->decode(defects);
+        trace.hwAfter = trace.hwBefore;
+        trace.mainNs = result.latencyNs;
+        if (result.latencyNs > latency_.effectiveBudgetNs()) {
+            result.aborted = true;
+        }
+        return result;
+    }
+
+    trace.predecoderEngaged = true;
+    const long long budget_cycles = static_cast<long long>(
+        latency_.effectiveBudgetNs() / latency_.nsPerCycle);
+    PredecodeResult pre_result =
+        pre->predecode(defects, budget_cycles);
+    trace.steps = pre_result.steps;
+    trace.predecodeRounds = pre_result.rounds;
+    trace.predecodeNs =
+        static_cast<double>(pre_result.cycles) * latency_.nsPerCycle;
+
+    DecodeResult result;
+    if (pre_result.decodedAll) {
+        // NSM predecoder finished the whole syndrome locally.
+        trace.hwAfter = 0;
+        result.predictedObs = pre_result.obsMask;
+        result.weight = pre_result.weight;
+        result.latencyNs = trace.predecodeNs;
+        if (result.latencyNs > latency_.effectiveBudgetNs()) {
+            result.aborted = true;
+        }
+        return result;
+    }
+
+    const std::vector<uint32_t> &handoff = pre_result.residual;
+    trace.hwAfter = static_cast<int>(handoff.size());
+
+    DecodeResult main_result = main_->decode(handoff);
+    trace.mainNs = main_result.latencyNs;
+
+    result.predictedObs =
+        pre_result.obsMask ^ main_result.predictedObs;
+    result.weight = pre_result.weight + main_result.weight;
+    if (pre_result.forwarded) {
+        // NSM forwarding: the main decoder already had the
+        // unmodified syndrome, so the stages overlap rather than
+        // serialize (Fig. 3(a)).
+        result.latencyNs =
+            std::max(trace.predecodeNs, main_result.latencyNs);
+    } else {
+        result.latencyNs = trace.predecodeNs + main_result.latencyNs;
+    }
+    result.aborted = main_result.aborted ||
+                     result.latencyNs > latency_.effectiveBudgetNs();
+    result.chainLengths = std::move(main_result.chainLengths);
+    return result;
+}
+
+} // namespace qec

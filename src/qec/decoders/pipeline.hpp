@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Predecoder + main-decoder pipeline (Fig. 1(a)/Fig. 3).
+ *
+ * Low-HW syndromes (HW <= threshold) go straight to the main decoder,
+ * exactly as in the paper's evaluation where predecoding applies only
+ * to HW > 10. High-HW syndromes pass through the predecoder; SM
+ * predecoders hand over the residual, NSM ones either finish locally
+ * or forward everything. The combined latency is checked against the
+ * real-time budget; overruns abort (= logical error, §6.4).
+ */
+
+#ifndef QEC_DECODERS_PIPELINE_HPP
+#define QEC_DECODERS_PIPELINE_HPP
+
+#include <memory>
+
+#include "qec/decoders/decoder.hpp"
+#include "qec/decoders/latency.hpp"
+#include "qec/predecode/predecoder.hpp"
+
+namespace qec
+{
+
+/** Statistics of the last pipeline decode (for the benches). */
+struct PipelineTrace
+{
+    bool predecoderEngaged = false;
+    int hwBefore = 0;
+    int hwAfter = 0;
+    double predecodeNs = 0.0;
+    double mainNs = 0.0;
+    StepUsage steps;
+    int predecodeRounds = 0;
+};
+
+/** Predecoder followed by a main decoder. */
+class PredecodedDecoder : public Decoder
+{
+  public:
+    PredecodedDecoder(const DecodingGraph &graph,
+                      const PathTable &paths,
+                      std::unique_ptr<Predecoder> predecoder,
+                      std::unique_ptr<Decoder> main,
+                      const LatencyConfig &latency = {})
+        : Decoder(graph, paths), pre(std::move(predecoder)),
+          main_(std::move(main)), latency_(latency)
+    {
+    }
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+
+    std::string
+    name() const override
+    {
+        return pre->name() + "+" + main_->name();
+    }
+
+    /** Introspection for HW-reduction and latency benches. */
+    const PipelineTrace &lastTrace() const { return trace; }
+
+    Predecoder &predecoder() { return *pre; }
+    Decoder &mainDecoder() { return *main_; }
+
+  private:
+    std::unique_ptr<Predecoder> pre;
+    std::unique_ptr<Decoder> main_;
+    LatencyConfig latency_;
+    PipelineTrace trace;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODERS_PIPELINE_HPP

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Union-Find decoder (the AFS-class baseline of Fig. 4).
+ *
+ * Implements the Delfosse–Nickerson cluster-growth + peeling decoder
+ * directly on the decoding graph: odd clusters grow by half-edges,
+ * merging on contact, until every cluster is even or touches the
+ * boundary; each cluster is then peeled along a spanning forest to
+ * extract the correction. Growth is unweighted (uniform), which is
+ * exactly what makes union-find less accurate than MWPM at the
+ * near-term p = 1e-4 regime the paper evaluates (§7.2).
+ */
+
+#ifndef QEC_DECODERS_UNION_FIND_HPP
+#define QEC_DECODERS_UNION_FIND_HPP
+
+#include "qec/decoders/decoder.hpp"
+
+namespace qec
+{
+
+/** Cluster-growth union-find decoder. */
+class UnionFindDecoder : public Decoder
+{
+  public:
+    using Decoder::Decoder;
+
+    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    std::string name() const override { return "UnionFind"; }
+
+    /**
+     * The set of correction-edge ids chosen for the last syndrome
+     * (for validity checks in tests).
+     */
+    const std::vector<uint32_t> &lastCorrection() const
+    {
+        return correction;
+    }
+
+  private:
+    std::vector<uint32_t> correction;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODERS_UNION_FIND_HPP

@@ -1,0 +1,117 @@
+#include "qec/gf2/gf2.hpp"
+
+#include <bit>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+Gf2Matrix::Gf2Matrix(size_t rows, size_t cols)
+    : numCols(cols), rowData(rows, BitVec(cols))
+{
+}
+
+void
+Gf2Matrix::appendRow(const BitVec &r)
+{
+    if (rowData.empty() && numCols == 0) {
+        numCols = r.size();
+    }
+    QEC_ASSERT(r.size() == numCols, "appendRow width mismatch");
+    rowData.push_back(r);
+}
+
+namespace
+{
+
+/**
+ * Reduce rows in place to row-echelon form; returns pivot columns.
+ * Helper shared by rank/kernel/row-space queries.
+ */
+std::vector<int>
+eliminate(std::vector<BitVec> &rows, size_t cols)
+{
+    std::vector<int> pivot_col_of_row;
+    size_t next_row = 0;
+    for (size_t col = 0; col < cols && next_row < rows.size(); ++col) {
+        size_t pivot = next_row;
+        while (pivot < rows.size() && !rows[pivot].get(col)) {
+            ++pivot;
+        }
+        if (pivot == rows.size()) {
+            continue;
+        }
+        std::swap(rows[pivot], rows[next_row]);
+        for (size_t r = 0; r < rows.size(); ++r) {
+            if (r != next_row && rows[r].get(col)) {
+                rows[r] ^= rows[next_row];
+            }
+        }
+        pivot_col_of_row.push_back(static_cast<int>(col));
+        ++next_row;
+    }
+    return pivot_col_of_row;
+}
+
+} // namespace
+
+size_t
+Gf2Matrix::rank() const
+{
+    std::vector<BitVec> work = rowData;
+    return eliminate(work, numCols).size();
+}
+
+std::vector<BitVec>
+Gf2Matrix::kernelBasis() const
+{
+    std::vector<BitVec> work = rowData;
+    const std::vector<int> pivots = eliminate(work, numCols);
+
+    std::vector<bool> is_pivot(numCols, false);
+    for (int c : pivots) {
+        is_pivot[c] = true;
+    }
+
+    std::vector<BitVec> basis;
+    for (size_t free_col = 0; free_col < numCols; ++free_col) {
+        if (is_pivot[free_col]) {
+            continue;
+        }
+        BitVec v(numCols);
+        v.set(free_col, true);
+        // Back-substitute: each pivot row determines its pivot column.
+        for (size_t r = 0; r < pivots.size(); ++r) {
+            if (work[r].get(free_col)) {
+                v.set(static_cast<size_t>(pivots[r]), true);
+            }
+        }
+        basis.push_back(v);
+    }
+    return basis;
+}
+
+bool
+Gf2Matrix::inRowSpace(const BitVec &v) const
+{
+    QEC_ASSERT(v.size() == numCols, "inRowSpace width mismatch");
+    std::vector<BitVec> work = rowData;
+    const size_t base_rank = eliminate(work, numCols).size();
+    work.resize(base_rank);
+    work.push_back(v);
+    return eliminate(work, numCols).size() == base_rank;
+}
+
+bool
+gf2Dot(const BitVec &a, const BitVec &b)
+{
+    QEC_ASSERT(a.size() == b.size(), "gf2Dot size mismatch");
+    uint64_t acc = 0;
+    for (size_t w = 0; w < a.numWords(); ++w) {
+        acc ^= a.word(w) & b.word(w);
+    }
+    return std::popcount(acc) & 1;
+}
+
+} // namespace qec

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dense linear algebra over GF(2).
+ *
+ * The surface-code layout uses this to validate stabilizer independence
+ * and to *derive* logical operator representatives instead of
+ * hard-coding them: a logical operator is a kernel vector of the
+ * opposite-type stabilizer support matrix that is independent of the
+ * same-type stabilizer row space.
+ */
+
+#ifndef QEC_GF2_GF2_HPP
+#define QEC_GF2_GF2_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "qec/util/bitvec.hpp"
+
+namespace qec
+{
+
+/** Row-major dense matrix over GF(2). */
+class Gf2Matrix
+{
+  public:
+    Gf2Matrix() = default;
+
+    /** Construct a rows x cols zero matrix. */
+    Gf2Matrix(size_t rows, size_t cols);
+
+    size_t rows() const { return rowData.size(); }
+    size_t cols() const { return numCols; }
+
+    bool get(size_t r, size_t c) const { return rowData[r].get(c); }
+    void set(size_t r, size_t c, bool v) { rowData[r].set(c, v); }
+
+    const BitVec &row(size_t r) const { return rowData[r]; }
+    BitVec &row(size_t r) { return rowData[r]; }
+
+    /** Append a row (must have cols() bits). */
+    void appendRow(const BitVec &r);
+
+    /** Rank via Gaussian elimination (input is not modified). */
+    size_t rank() const;
+
+    /** Basis of the kernel {x : Mx = 0}; each vector has cols() bits. */
+    std::vector<BitVec> kernelBasis() const;
+
+    /**
+     * True if v lies in the row space of this matrix (i.e. v is a
+     * GF(2) combination of the rows).
+     */
+    bool inRowSpace(const BitVec &v) const;
+
+  private:
+    size_t numCols = 0;
+    std::vector<BitVec> rowData;
+};
+
+/** Dot product of two equal-length GF(2) vectors (parity of AND). */
+bool gf2Dot(const BitVec &a, const BitVec &b);
+
+} // namespace qec
+
+#endif // QEC_GF2_GF2_HPP

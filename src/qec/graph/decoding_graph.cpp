@@ -1,0 +1,112 @@
+#include "qec/graph/decoding_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+double
+probToWeight(double prob)
+{
+    QEC_ASSERT(prob > 0.0 && prob < 0.5,
+               "edge probability must be in (0, 0.5)");
+    return std::log((1.0 - prob) / prob);
+}
+
+DecodingGraph
+DecodingGraph::fromDem(const GraphlikeDem &dem,
+                       std::vector<DetectorCoord> coords)
+{
+    DecodingGraph graph;
+    graph.numDetectors_ = dem.numDetectors;
+    graph.numObservables_ = dem.numObservables;
+    graph.coords_ = std::move(coords);
+    QEC_ASSERT(graph.coords_.empty() ||
+                   graph.coords_.size() == dem.numDetectors,
+               "coordinate list size mismatch");
+
+    // Merge parallel edges (same endpoints, different obs variants):
+    // probabilities XOR-combine; the most probable variant supplies
+    // the observable mask.
+    struct Variant
+    {
+        double prob = 0.0;
+        double bestProb = 0.0;
+        uint64_t obsMask = 0;
+        uint32_t variants = 0;
+    };
+    std::map<std::pair<uint32_t, uint32_t>, Variant> merged;
+    for (const DemEdge &edge : dem.edges) {
+        auto key = std::make_pair(std::min(edge.u, edge.v),
+                                  std::max(edge.u, edge.v));
+        Variant &slot = merged[key];
+        slot.prob = xorProbability(slot.prob, edge.prob);
+        if (edge.prob > slot.bestProb) {
+            slot.bestProb = edge.prob;
+            slot.obsMask = edge.obsMask;
+        }
+        ++slot.variants;
+    }
+
+    graph.adjacency.assign(dem.numDetectors, {});
+    graph.boundaryEdgeOf.assign(dem.numDetectors, -1);
+    for (const auto &[key, variant] : merged) {
+        if (variant.variants > 1) {
+            graph.obsConflicts_ += variant.variants - 1;
+        }
+        GraphEdge edge;
+        edge.id = static_cast<uint32_t>(graph.edges_.size());
+        edge.u = key.first;
+        edge.v = key.second;
+        edge.prob = variant.prob;
+        edge.weight = probToWeight(variant.prob);
+        edge.obsMask = variant.obsMask;
+        graph.edges_.push_back(edge);
+
+        graph.adjacency[edge.u].push_back(edge.id);
+        if (edge.v == kBoundary) {
+            graph.boundaryEdgeOf[edge.u] =
+                static_cast<int>(edge.id);
+        } else {
+            graph.adjacency[edge.v].push_back(edge.id);
+        }
+    }
+    return graph;
+}
+
+int
+DecodingGraph::edgeBetween(uint32_t a, uint32_t b) const
+{
+    const auto &smaller =
+        adjacency[a].size() <= adjacency[b].size() ? adjacency[a]
+                                                   : adjacency[b];
+    for (uint32_t id : smaller) {
+        const GraphEdge &edge = edges_[id];
+        if ((edge.u == a && edge.v == b) ||
+            (edge.u == b && edge.v == a)) {
+            return static_cast<int>(id);
+        }
+    }
+    return -1;
+}
+
+double
+DecodingGraph::averageDegree() const
+{
+    if (numDetectors_ == 0) {
+        return 0.0;
+    }
+    size_t pair_slots = 0;
+    for (const GraphEdge &edge : edges_) {
+        if (edge.v != kBoundary) {
+            pair_slots += 2;
+        }
+    }
+    return static_cast<double>(pair_slots) / numDetectors_;
+}
+
+} // namespace qec

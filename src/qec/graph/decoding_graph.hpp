@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The decoding graph (§2.2 of the paper).
+ *
+ * Nodes are detectors (plus one virtual boundary); edges are graphlike
+ * error mechanisms weighted by w = log((1-p)/p), so that a
+ * minimum-weight matching corresponds to a maximum-probability error
+ * hypothesis.
+ */
+
+#ifndef QEC_GRAPH_DECODING_GRAPH_HPP
+#define QEC_GRAPH_DECODING_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/dem/decompose.hpp"
+#include "qec/surface/circuit_gen.hpp"
+
+namespace qec
+{
+
+/** One weighted edge of the decoding graph. */
+struct GraphEdge
+{
+    uint32_t id = 0;        //!< Position in edges().
+    uint32_t u = 0;         //!< First detector.
+    uint32_t v = kBoundary; //!< Second detector or kBoundary.
+    double prob = 0.0;      //!< Combined mechanism probability.
+    double weight = 0.0;    //!< log((1-p)/p).
+    uint64_t obsMask = 0;   //!< Observables crossed by this edge.
+};
+
+/** Weighted detector graph with a virtual boundary node. */
+class DecodingGraph
+{
+  public:
+    /**
+     * Build from a graphlike DEM. Parallel edges with different
+     * observable masks are merged into the most probable variant
+     * (with XOR-combined probability); the number of such conflicts
+     * is reported by obsConflicts().
+     *
+     * @param coords optional space-time coordinates per detector
+     *               (from MemoryExperiment), used by predecoder
+     *               heuristics and debug output.
+     */
+    static DecodingGraph fromDem(const GraphlikeDem &dem,
+                                 std::vector<DetectorCoord> coords = {});
+
+    uint32_t numDetectors() const { return numDetectors_; }
+    uint32_t numObservables() const { return numObservables_; }
+
+    const std::vector<GraphEdge> &edges() const { return edges_; }
+
+    /** Ids of edges incident to a detector (boundary edges included). */
+    const std::vector<uint32_t> &adjacentEdges(uint32_t det) const
+    {
+        return adjacency[det];
+    }
+
+    /** Edge id between two detectors, or -1 if not adjacent. */
+    int edgeBetween(uint32_t a, uint32_t b) const;
+
+    /** Boundary edge id of a detector, or -1 if none. */
+    int boundaryEdge(uint32_t det) const { return boundaryEdgeOf[det]; }
+
+    /** Number of parallel-edge observable conflicts during merge. */
+    uint32_t obsConflicts() const { return obsConflicts_; }
+
+    /** Space-time coordinate of a detector (empty vector if unset). */
+    const std::vector<DetectorCoord> &coords() const { return coords_; }
+
+    /** Mean number of pair-edges per detector (graph sparsity). */
+    double averageDegree() const;
+
+  private:
+    uint32_t numDetectors_ = 0;
+    uint32_t numObservables_ = 0;
+    uint32_t obsConflicts_ = 0;
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<uint32_t>> adjacency;
+    std::vector<int> boundaryEdgeOf;
+    std::vector<DetectorCoord> coords_;
+};
+
+/** Matching weight of an error probability: log((1-p)/p). */
+double probToWeight(double prob);
+
+} // namespace qec
+
+#endif // QEC_GRAPH_DECODING_GRAPH_HPP

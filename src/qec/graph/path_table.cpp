@@ -1,0 +1,125 @@
+#include "qec/graph/path_table.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/** Dijkstra state entry: (distance, node). */
+using HeapEntry = std::pair<double, uint32_t>;
+
+} // namespace
+
+PathTable::PathTable(const DecodingGraph &graph)
+    : n(graph.numDetectors()),
+      distMat(static_cast<size_t>(n) * n, kInf),
+      obsMat(static_cast<size_t>(n) * n, 0),
+      hopsMat(static_cast<size_t>(n) * n, 255),
+      distBoundary(n, std::numeric_limits<double>::infinity()),
+      obsBoundary(n, 0),
+      hopsBoundary(n, 255)
+{
+    QEC_ASSERT(graph.numObservables() <= 8,
+               "PathTable packs obs masks into 8 bits");
+
+    std::vector<double> dist(n);
+    std::vector<uint8_t> obs(n);
+    std::vector<uint16_t> hops(n);
+    std::vector<bool> done(n);
+
+    auto relax_all = [&](std::priority_queue<HeapEntry,
+                                             std::vector<HeapEntry>,
+                                             std::greater<>> &heap) {
+        while (!heap.empty()) {
+            const auto [du, u] = heap.top();
+            heap.pop();
+            if (done[u]) {
+                continue;
+            }
+            done[u] = true;
+            for (uint32_t eid : graph.adjacentEdges(u)) {
+                const GraphEdge &edge = graph.edges()[eid];
+                if (edge.v == kBoundary) {
+                    continue; // Boundary is never an intermediate hop.
+                }
+                const uint32_t w = (edge.u == u) ? edge.v : edge.u;
+                const double dw = du + edge.weight;
+                if (dw < dist[w]) {
+                    dist[w] = dw;
+                    obs[w] = obs[u] ^
+                             static_cast<uint8_t>(edge.obsMask);
+                    hops[w] = static_cast<uint16_t>(hops[u] + 1);
+                    heap.push({dw, w});
+                }
+            }
+        }
+    };
+
+    // Per-source Dijkstra for the pair tables.
+    for (uint32_t src = 0; src < n; ++src) {
+        std::fill(dist.begin(), dist.end(),
+                  std::numeric_limits<double>::infinity());
+        std::fill(obs.begin(), obs.end(), 0);
+        std::fill(hops.begin(), hops.end(), 0);
+        std::fill(done.begin(), done.end(), false);
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<>>
+            heap;
+        dist[src] = 0.0;
+        heap.push({0.0, src});
+        relax_all(heap);
+        for (uint32_t v = 0; v < n; ++v) {
+            distMat[index(src, v)] = static_cast<float>(dist[v]);
+            obsMat[index(src, v)] = obs[v];
+            hopsMat[index(src, v)] =
+                static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
+        }
+    }
+
+    // Multi-source Dijkstra seeded by every boundary edge.
+    std::fill(dist.begin(), dist.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(obs.begin(), obs.end(), 0);
+    std::fill(hops.begin(), hops.end(), 0);
+    std::fill(done.begin(), done.end(), false);
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>>
+        heap;
+    for (uint32_t det = 0; det < n; ++det) {
+        const int eid = graph.boundaryEdge(det);
+        if (eid < 0) {
+            continue;
+        }
+        const GraphEdge &edge = graph.edges()[eid];
+        if (edge.weight < dist[det]) {
+            dist[det] = edge.weight;
+            obs[det] = static_cast<uint8_t>(edge.obsMask);
+            hops[det] = 1;
+            heap.push({edge.weight, det});
+        }
+    }
+    relax_all(heap);
+    for (uint32_t v = 0; v < n; ++v) {
+        distBoundary[v] = dist[v];
+        obsBoundary[v] = obs[v];
+        hopsBoundary[v] =
+            static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
+    }
+}
+
+bool
+PathTable::unreachable(uint32_t a, uint32_t b) const
+{
+    return distMat[index(a, b)] == kInf;
+}
+
+} // namespace qec

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * All-pairs shortest paths over the decoding graph.
+ *
+ * The matchers (MWPM, Astrea, Astrea-G) operate on a complete graph
+ * over the flipped detectors whose edge weights are shortest-path
+ * distances in the decoding graph; Promatch's Step 3 consults the
+ * same table (the paper's on-chip "Path table", §4.2.2/Table 8).
+ *
+ * Boundary distances are computed with a multi-source Dijkstra seeded
+ * by every boundary edge; pair distances never route through the
+ * boundary (matching two defects "via the boundary" is represented as
+ * two separate boundary matches instead).
+ */
+
+#ifndef QEC_GRAPH_PATH_TABLE_HPP
+#define QEC_GRAPH_PATH_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/graph/decoding_graph.hpp"
+
+namespace qec
+{
+
+/** Precomputed distance / observable-parity / hop tables. */
+class PathTable
+{
+  public:
+    explicit PathTable(const DecodingGraph &graph);
+
+    /** Shortest-path weight between two detectors. */
+    double dist(uint32_t a, uint32_t b) const
+    {
+        return distMat[index(a, b)];
+    }
+
+    /** XOR of observable masks along the shortest a-b path. */
+    uint64_t pathObs(uint32_t a, uint32_t b) const
+    {
+        return obsMat[index(a, b)];
+    }
+
+    /** Number of edges along the shortest a-b path (255 = saturated). */
+    int pathHops(uint32_t a, uint32_t b) const
+    {
+        return hopsMat[index(a, b)];
+    }
+
+    /** Shortest-path weight from a detector to the boundary. */
+    double distToBoundary(uint32_t a) const { return distBoundary[a]; }
+
+    /** Observable parity of the best path to the boundary. */
+    uint64_t boundaryObs(uint32_t a) const { return obsBoundary[a]; }
+
+    /** Hop count of the best path to the boundary. */
+    int boundaryHops(uint32_t a) const { return hopsBoundary[a]; }
+
+    /** True if b is unreachable from a without the boundary. */
+    bool unreachable(uint32_t a, uint32_t b) const;
+
+    uint32_t numDetectors() const { return n; }
+
+  private:
+    size_t index(uint32_t a, uint32_t b) const
+    {
+        return static_cast<size_t>(a) * n + b;
+    }
+
+    uint32_t n = 0;
+    std::vector<float> distMat;
+    std::vector<uint8_t> obsMat;
+    std::vector<uint8_t> hopsMat;
+    std::vector<double> distBoundary;
+    std::vector<uint8_t> obsBoundary;
+    std::vector<uint8_t> hopsBoundary;
+};
+
+} // namespace qec
+
+#endif // QEC_GRAPH_PATH_TABLE_HPP

@@ -1,0 +1,40 @@
+#include "qec/harness/context.hpp"
+
+#include <map>
+
+#include "qec/sim/error_enumerator.hpp"
+
+namespace qec
+{
+
+ExperimentContext::ExperimentContext(int distance, double p,
+                                     int rounds)
+    : distance_(distance), p_(p),
+      rounds_(rounds < 0 ? distance : rounds), layout_(distance),
+      experiment_(generateMemoryZ(layout_, rounds_,
+                                  NoiseParams::uniform(p))),
+      dem_(buildDetectorErrorModel(experiment_.circuit)),
+      graphlike_(decomposeToGraphlike(dem_)),
+      graph_(DecodingGraph::fromDem(graphlike_,
+                                    experiment_.detectors)),
+      paths_(graph_)
+{
+}
+
+const ExperimentContext &
+ExperimentContext::get(int distance, double p)
+{
+    static std::map<std::pair<int, double>,
+                    std::unique_ptr<ExperimentContext>>
+        cache;
+    const auto key = std::make_pair(distance, p);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key, std::make_unique<ExperimentContext>(
+                                    distance, p))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace qec

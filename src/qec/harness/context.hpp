@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ExperimentContext: everything needed to evaluate decoders on one
+ * (distance, physical error rate) configuration, built once and
+ * cached — layout, noisy circuit, detector error model, decoding
+ * graph, and path tables.
+ */
+
+#ifndef QEC_HARNESS_CONTEXT_HPP
+#define QEC_HARNESS_CONTEXT_HPP
+
+#include <memory>
+
+#include "qec/dem/decompose.hpp"
+#include "qec/dem/dem.hpp"
+#include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/path_table.hpp"
+#include "qec/surface/circuit_gen.hpp"
+#include "qec/surface/layout.hpp"
+
+namespace qec
+{
+
+/** One fully-built evaluation configuration. */
+class ExperimentContext
+{
+  public:
+    /**
+     * Build the full stack for a memory-Z experiment.
+     *
+     * @param distance  code distance (odd, >= 3)
+     * @param p         uniform physical error rate
+     * @param rounds    syndrome extraction rounds; -1 means d rounds
+     *                  (the paper's setting)
+     */
+    ExperimentContext(int distance, double p, int rounds = -1);
+
+    /** Process-wide cache keyed by (distance, p). */
+    static const ExperimentContext &get(int distance, double p);
+
+    int distance() const { return distance_; }
+    double physicalErrorRate() const { return p_; }
+    int rounds() const { return rounds_; }
+
+    const SurfaceCodeLayout &layout() const { return layout_; }
+    const MemoryExperiment &experiment() const { return experiment_; }
+    const DetectorErrorModel &dem() const { return dem_; }
+    const GraphlikeDem &graphlike() const { return graphlike_; }
+    const DecodingGraph &graph() const { return graph_; }
+    const PathTable &paths() const { return paths_; }
+
+  private:
+    int distance_;
+    double p_;
+    int rounds_;
+    SurfaceCodeLayout layout_;
+    MemoryExperiment experiment_;
+    DetectorErrorModel dem_;
+    GraphlikeDem graphlike_;
+    DecodingGraph graph_;
+    PathTable paths_;
+};
+
+} // namespace qec
+
+#endif // QEC_HARNESS_CONTEXT_HPP

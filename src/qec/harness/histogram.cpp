@@ -1,0 +1,106 @@
+#include "qec/harness/histogram.hpp"
+
+#include <cstdio>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+void
+WeightedHistogram::add(int bin, double weight)
+{
+    QEC_ASSERT(bin >= 0, "histogram bins are non-negative");
+    if (static_cast<size_t>(bin) >= bins.size()) {
+        bins.resize(bin + 1, 0.0);
+    }
+    bins[bin] += weight;
+    total += weight;
+}
+
+int
+WeightedHistogram::maxBin() const
+{
+    for (int b = static_cast<int>(bins.size()) - 1; b >= 0; --b) {
+        if (bins[b] > 0.0) {
+            return b;
+        }
+    }
+    return -1;
+}
+
+double
+WeightedHistogram::weightAt(int bin) const
+{
+    if (bin < 0 || static_cast<size_t>(bin) >= bins.size()) {
+        return 0.0;
+    }
+    return bins[bin];
+}
+
+double
+WeightedHistogram::probabilityAt(int bin, double denominator) const
+{
+    return denominator > 0.0 ? weightAt(bin) / denominator : 0.0;
+}
+
+void
+HwConditionalStats::record(int hw, double weight, bool failed)
+{
+    all.add(hw, weight);
+    if (failed) {
+        failed_.add(hw, weight);
+    }
+    if (static_cast<size_t>(hw) >= counts.size()) {
+        counts.resize(hw + 1, 0);
+    }
+    ++counts[hw];
+}
+
+double
+HwConditionalStats::conditionalFailRate(int hw_min, int hw_max) const
+{
+    double fail = 0.0, total = 0.0;
+    for (int h = hw_min; h <= hw_max; ++h) {
+        fail += failed_.weightAt(h);
+        total += all.weightAt(h);
+    }
+    return total > 0.0 ? fail / total : 0.0;
+}
+
+double
+HwConditionalStats::mass(int hw_min, int hw_max) const
+{
+    double total = 0.0;
+    for (int h = hw_min; h <= hw_max; ++h) {
+        total += all.weightAt(h);
+    }
+    return total;
+}
+
+uint64_t
+HwConditionalStats::samplesIn(int hw_min, int hw_max) const
+{
+    uint64_t n = 0;
+    for (int h = hw_min;
+         h <= hw_max && static_cast<size_t>(h) < counts.size();
+         ++h) {
+        n += counts[h];
+    }
+    return n;
+}
+
+std::string
+WeightedHistogram::str(double denominator) const
+{
+    std::string out;
+    char line[64];
+    for (int b = 0; b <= maxBin(); ++b) {
+        std::snprintf(line, sizeof line, "%3d  %.3e\n", b,
+                      probabilityAt(b, denominator));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace qec

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Weighted integer histograms (HW distributions of Figs. 16/17).
+ */
+
+#ifndef QEC_HARNESS_HISTOGRAM_HPP
+#define QEC_HARNESS_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qec/util/stats.hpp"
+
+namespace qec
+{
+
+/** Histogram over small non-negative integer bins with weights. */
+class WeightedHistogram
+{
+  public:
+    /** Record weight at an integer bin (bins grow on demand). */
+    void add(int bin, double weight);
+
+    /** Highest populated bin (-1 if empty). */
+    int maxBin() const;
+
+    /** Raw accumulated weight of one bin. */
+    double weightAt(int bin) const;
+
+    /** Total accumulated weight. */
+    double totalWeight() const { return total; }
+
+    /** Weight at bin divided by `denominator` (probability view). */
+    double probabilityAt(int bin, double denominator) const;
+
+    /**
+     * Render as a two-column table "bin probability" with
+     * probabilities relative to the given denominator.
+     */
+    std::string str(double denominator) const;
+
+  private:
+    std::vector<double> bins;
+    double total = 0.0;
+};
+
+/**
+ * Failure statistics conditioned on syndrome Hamming weight.
+ *
+ * Fed from the importance-sampling observer (weights = P_o(k)/N_k),
+ * this gives the discriminating statistic of the paper's evaluation:
+ * how decoders behave on the rare high-HW syndromes.
+ */
+class HwConditionalStats
+{
+  public:
+    /** Record one decoded sample. */
+    void record(int hw, double weight, bool failed);
+
+    /** Weighted P(fail | hw_min <= HW <= hw_max). */
+    double conditionalFailRate(int hw_min, int hw_max) const;
+
+    /** Weighted probability mass of the HW band. */
+    double mass(int hw_min, int hw_max) const;
+
+    /** Unweighted sample count in the band. */
+    uint64_t samplesIn(int hw_min, int hw_max) const;
+
+  private:
+    WeightedHistogram all;
+    WeightedHistogram failed_;
+    std::vector<uint64_t> counts;
+};
+
+} // namespace qec
+
+#endif // QEC_HARNESS_HISTOGRAM_HPP

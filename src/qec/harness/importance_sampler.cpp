@@ -1,0 +1,86 @@
+#include "qec/harness/importance_sampler.hpp"
+
+#include <algorithm>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+ImportanceSampler::ImportanceSampler(const DetectorErrorModel &dem,
+                                     int k_max)
+    : dem_(dem), kMax_(k_max), po(k_max + 1, 0.0)
+{
+    const auto &mechanisms = dem.mechanisms();
+    QEC_ASSERT(!mechanisms.empty(), "empty detector error model");
+    QEC_ASSERT(k_max >= 1, "k_max must be positive");
+
+    // Exact Poisson-binomial DP over the fault count, truncated at
+    // k_max (the tail above k_max is irrelevant for Eq. 1).
+    po[0] = 1.0;
+    for (const DemMechanism &m : mechanisms) {
+        lambda += m.prob;
+        for (int k = std::min<int>(kMax_, 1000); k >= 1; --k) {
+            po[k] = po[k] * (1.0 - m.prob) + po[k - 1] * m.prob;
+        }
+        po[0] *= (1.0 - m.prob);
+    }
+
+    cumulative.reserve(mechanisms.size());
+    double acc = 0.0;
+    for (const DemMechanism &m : mechanisms) {
+        acc += m.prob / (1.0 - m.prob);
+        cumulative.push_back(acc);
+    }
+}
+
+ImportanceSampler::Sample
+ImportanceSampler::sample(int k, Rng &rng) const
+{
+    QEC_ASSERT(k >= 1 && k <= kMax_, "k out of range");
+    const auto &mechanisms = dem_.mechanisms();
+    const double total = cumulative.back();
+
+    // Draw k distinct mechanisms, weight-proportionally, by
+    // rejection on duplicates (k << M so collisions are rare).
+    std::vector<uint32_t> chosen;
+    chosen.reserve(k);
+    int guard = 0;
+    while (static_cast<int>(chosen.size()) < k) {
+        QEC_ASSERT(++guard < 100000,
+                   "importance sampling stuck rejecting duplicates");
+        const double u = rng.nextDouble() * total;
+        const auto it = std::upper_bound(cumulative.begin(),
+                                         cumulative.end(), u);
+        const uint32_t idx = static_cast<uint32_t>(
+            std::min<size_t>(it - cumulative.begin(),
+                             cumulative.size() - 1));
+        if (std::find(chosen.begin(), chosen.end(), idx) ==
+            chosen.end()) {
+            chosen.push_back(idx);
+        }
+    }
+
+    // XOR together the symptoms of the chosen mechanisms.
+    Sample out;
+    std::vector<uint32_t> flips;
+    for (uint32_t idx : chosen) {
+        const DemMechanism &m = mechanisms[idx];
+        flips.insert(flips.end(), m.dets.begin(), m.dets.end());
+        out.obsMask ^= m.obsMask;
+    }
+    std::sort(flips.begin(), flips.end());
+    for (size_t i = 0; i < flips.size();) {
+        size_t j = i;
+        while (j < flips.size() && flips[j] == flips[i]) {
+            ++j;
+        }
+        if ((j - i) % 2) {
+            out.defects.push_back(flips[i]);
+        }
+        i = j;
+    }
+    return out;
+}
+
+} // namespace qec

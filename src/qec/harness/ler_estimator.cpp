@@ -1,0 +1,88 @@
+#include "qec/harness/ler_estimator.hpp"
+
+#include "qec/sim/frame_simulator.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+LerEstimate
+estimateLer(const ExperimentContext &context, Decoder &decoder,
+            const LerOptions &options, const SampleObserver &observer)
+{
+    ImportanceSampler sampler(context.dem(), options.kMax);
+    Rng rng(options.seed);
+
+    LerEstimate estimate;
+    estimate.expectedFaults = sampler.expectedFaults();
+    for (int k = 1; k <= options.kMax; ++k) {
+        KStats stats;
+        stats.k = k;
+        stats.occurrence = sampler.occurrenceProb(k);
+        if (k < options.skipBelowK) {
+            // Provably below the failure threshold: P_f(k) = 0.
+            estimate.perK.push_back(stats);
+            continue;
+        }
+        const double weight =
+            stats.occurrence /
+            static_cast<double>(options.samplesPerK);
+        for (uint64_t s = 0; s < options.samplesPerK; ++s) {
+            const ImportanceSampler::Sample sample =
+                sampler.sample(k, rng);
+            const DecodeResult result =
+                decoder.decode(sample.defects);
+            const bool failed =
+                result.aborted ||
+                result.predictedObs != sample.obsMask;
+            ++stats.samples;
+            stats.failures += failed ? 1 : 0;
+            if (observer) {
+                observer({k, weight, sample.defects, result,
+                          failed});
+            }
+        }
+        stats.failureProb =
+            static_cast<double>(stats.failures) /
+            static_cast<double>(stats.samples);
+        estimate.ler += stats.occurrence * stats.failureProb;
+        estimate.perK.push_back(stats);
+    }
+    return estimate;
+}
+
+DirectMcResult
+estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
+                  uint64_t shots, uint64_t seed)
+{
+    FrameSimulator simulator(context.experiment().circuit);
+    Rng rng(seed);
+    BatchResult batch;
+    DirectMcResult result;
+    while (result.shots < shots) {
+        simulator.sampleBatch(rng, batch);
+        const int lanes = static_cast<int>(
+            std::min<uint64_t>(64, shots - result.shots));
+        for (int lane = 0; lane < lanes; ++lane) {
+            std::vector<uint32_t> defects;
+            for (size_t det = 0; det < batch.detectors.size();
+                 ++det) {
+                if ((batch.detectors[det] >> lane) & 1) {
+                    defects.push_back(
+                        static_cast<uint32_t>(det));
+                }
+            }
+            const uint64_t actual = batch.observableMask(lane);
+            const DecodeResult decoded = decoder.decode(defects);
+            const bool failed = decoded.aborted ||
+                                decoded.predictedObs != actual;
+            result.failures += failed ? 1 : 0;
+            ++result.shots;
+        }
+    }
+    result.ler = static_cast<double>(result.failures) /
+                 static_cast<double>(result.shots);
+    return result;
+}
+
+} // namespace qec

@@ -1,0 +1,101 @@
+#include "qec/harness/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qec
+{
+
+ReportTable::ReportTable(std::string title,
+                         std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+ReportTable::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+ReportTable::str() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::string out = "\n== " + title_ + " ==\n";
+    const auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out += '\n';
+    };
+    emit_row(headers_);
+    size_t rule = 0;
+    for (size_t w : widths) {
+        rule += w + 2;
+    }
+    out.append(rule, '-');
+    out += '\n';
+    for (const auto &row : rows) {
+        emit_row(row);
+    }
+    return out;
+}
+
+void
+ReportTable::print() const
+{
+    std::fputs(str().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+formatSci(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2e", value);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatRatio(double value, double baseline)
+{
+    if (baseline <= 0.0) {
+        return "-";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1fx", value / baseline);
+    return buf;
+}
+
+double
+benchScale()
+{
+    const char *env = std::getenv("QEC_BENCH_SCALE");
+    if (!env) {
+        return 1.0;
+    }
+    const double scale = std::atof(env);
+    return scale > 0.0 ? scale : 1.0;
+}
+
+} // namespace qec

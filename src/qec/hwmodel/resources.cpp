@@ -1,0 +1,78 @@
+#include "qec/hwmodel/resources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec
+{
+
+StorageEstimate
+estimateStorage(const DecodingGraph &graph)
+{
+    StorageEstimate estimate;
+    // Edge table: 8-bit quantized weight per edge (§4.2).
+    estimate.edgeTableBytes = graph.edges().size();
+    // Path table: n x n cells, 2 bits each after the four-group
+    // quantization of §6.6.
+    const uint64_t n = graph.numDetectors();
+    estimate.pathTableBytes = (n * n * 2 + 7) / 8;
+    return estimate;
+}
+
+FpgaEstimate
+estimateFpga(const DecodingGraph &graph, int parallel_lanes)
+{
+    FpgaEstimate estimate;
+
+    // Widths in bits.
+    const int weight_bits = 8; // Quantized edge weight.
+    const int index_bits = std::max<int>(
+        1, static_cast<int>(
+               std::ceil(std::log2(
+                   std::max<uint32_t>(2, graph.numDetectors())))));
+    const int degree_bits = 6; // deg / #dependent counters.
+
+    // Fig. 10 pipeline, per lane:
+    //  stage 1: two degree comparators (==1) + table fetch registers
+    //  stage 2: singleton detection (two adders + zero test, Fig. 11)
+    //  stage 3: step-candidate decode (a few LUTs of control)
+    //  stage 4: weight comparator + candidate register update
+    const int stage1_luts = 2 * degree_bits + 2 * index_bits;
+    const int stage2_luts = 2 * degree_bits + degree_bits; // adders+nor
+    const int stage3_luts = 16;
+    const int stage4_luts = weight_bits + 2 * (index_bits + weight_bits);
+    const int lane_luts =
+        stage1_luts + stage2_luts + stage3_luts + stage4_luts;
+
+    // Registers: matching-candidate registers per step (2.1, 2.2,
+    // 4.1, 4.2), the isolated-pair register file (say 16 entries),
+    // and pipeline staging.
+    const int candidate_ff = 4 * (2 * index_bits + weight_bits);
+    const int isolated_ff = 16 * 2 * index_bits;
+    const int staging_ff = 4 * (2 * index_bits + 2 * degree_bits +
+                                weight_bits);
+    const int lane_ff = candidate_ff + isolated_ff + staging_ff;
+
+    // Shared control: subgraph generator, syndrome register, and the
+    // Step-3 path engine (weight compare over the path table).
+    const int control_luts = 40 * index_bits;
+    const int control_ff =
+        static_cast<int>(graph.numDetectors()) // Syndrome register.
+        + 8 * index_bits;
+
+    estimate.luts = static_cast<uint64_t>(lane_luts) *
+                        parallel_lanes +
+                    control_luts;
+    estimate.flipFlops = static_cast<uint64_t>(lane_ff) *
+                             parallel_lanes +
+                         control_ff;
+
+    // Kintex UltraScale+ KU15P: 523k LUTs, 1045k FFs.
+    estimate.lutPercent =
+        100.0 * static_cast<double>(estimate.luts) / 523000.0;
+    estimate.ffPercent =
+        100.0 * static_cast<double>(estimate.flipFlops) / 1045000.0;
+    return estimate;
+}
+
+} // namespace qec

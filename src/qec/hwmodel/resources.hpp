@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FPGA resource and storage model (§6.6, Tables 7 and 8).
+ *
+ * No FPGA toolchain is available in this reproduction, so Table 7 is
+ * served by an analytical model of the Fig. 10/11 pipeline, and
+ * Table 8 by exact arithmetic over the decoding graph:
+ *
+ *  - Edge table: one 8-bit quantized weight per decoding-graph edge.
+ *  - Path table: n x n cells over the detectors; Promatch only needs
+ *    the paths binned into four coarse groups (§6.6), i.e. 2 bits
+ *    per cell.
+ */
+
+#ifndef QEC_HWMODEL_RESOURCES_HPP
+#define QEC_HWMODEL_RESOURCES_HPP
+
+#include <cstdint>
+
+#include "qec/graph/decoding_graph.hpp"
+
+namespace qec
+{
+
+/** Storage requirements of the on-chip tables (Table 8). */
+struct StorageEstimate
+{
+    uint64_t edgeTableBytes = 0;
+    uint64_t pathTableBytes = 0;
+};
+
+/** Compute Table 8 for a decoding graph. */
+StorageEstimate estimateStorage(const DecodingGraph &graph);
+
+/** Analytical FPGA utilization estimate (Table 7). */
+struct FpgaEstimate
+{
+    uint64_t luts = 0;
+    uint64_t flipFlops = 0;
+    double lutPercent = 0.0; //!< Of a Kintex UltraScale+ KU15P.
+    double ffPercent = 0.0;
+    double frequencyMHz = 250.0;
+};
+
+/**
+ * Model the edge-processing pipeline of Fig. 10: per-stage register
+ * widths, comparators, and the #dependent adders of Fig. 11.
+ *
+ * @param parallel_lanes number of parallel edge pipelines
+ */
+FpgaEstimate estimateFpga(const DecodingGraph &graph,
+                          int parallel_lanes = 1);
+
+} // namespace qec
+
+#endif // QEC_HWMODEL_RESOURCES_HPP

@@ -1,0 +1,71 @@
+#include "qec/matching/defect_graph.hpp"
+
+#include <cmath>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+DefectGraph
+buildDefectGraph(const std::vector<uint32_t> &defects,
+                 const PathTable &paths)
+{
+    DefectGraph graph;
+    graph.defects = defects;
+    const int n = static_cast<int>(defects.size());
+    graph.problem.n = n;
+    graph.problem.pairWeight.assign(
+        static_cast<size_t>(n) * n, kNoEdge);
+    graph.problem.boundaryWeight.assign(n, kNoEdge);
+    for (int i = 0; i < n; ++i) {
+        const double db = paths.distToBoundary(defects[i]);
+        if (std::isfinite(db)) {
+            graph.problem.boundaryWeight[i] = db;
+        }
+        for (int j = i + 1; j < n; ++j) {
+            if (!paths.unreachable(defects[i], defects[j])) {
+                graph.problem.setPair(
+                    i, j, paths.dist(defects[i], defects[j]));
+            }
+        }
+    }
+    return graph;
+}
+
+uint64_t
+DefectGraph::solutionObs(const PathTable &paths,
+                         const MatchingSolution &solution) const
+{
+    QEC_ASSERT(solution.mate.size() == defects.size(),
+               "solution size mismatch");
+    uint64_t obs = 0;
+    for (size_t i = 0; i < defects.size(); ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            obs ^= paths.boundaryObs(defects[i]);
+        } else if (m > static_cast<int>(i)) {
+            obs ^= paths.pathObs(defects[i], defects[m]);
+        }
+    }
+    return obs;
+}
+
+std::vector<int>
+DefectGraph::chainLengths(const PathTable &paths,
+                          const MatchingSolution &solution) const
+{
+    std::vector<int> lengths;
+    for (size_t i = 0; i < defects.size(); ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            lengths.push_back(paths.boundaryHops(defects[i]));
+        } else if (m > static_cast<int>(i)) {
+            lengths.push_back(
+                paths.pathHops(defects[i], defects[m]));
+        }
+    }
+    return lengths;
+}
+
+} // namespace qec

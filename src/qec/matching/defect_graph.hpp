@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Construction of matching problems from syndromes.
+ *
+ * A DefectGraph is the complete graph over the flipped detectors of
+ * one syndrome, with shortest-path weights from the PathTable (the
+ * "MWPM graph" of §4.2.3). It also knows how to turn a matching
+ * solution back into physics: the observable flips implied by the
+ * matched paths and the error-chain lengths (Fig. 5).
+ */
+
+#ifndef QEC_MATCHING_DEFECT_GRAPH_HPP
+#define QEC_MATCHING_DEFECT_GRAPH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/graph/path_table.hpp"
+#include "qec/matching/matching_problem.hpp"
+
+namespace qec
+{
+
+/** Matching view of one syndrome. */
+struct DefectGraph
+{
+    /** Flipped detector indices (sorted). */
+    std::vector<uint32_t> defects;
+    /** Complete-graph matching instance over the defects. */
+    MatchingProblem problem;
+
+    /** XOR of observable masks along all matched paths. */
+    uint64_t solutionObs(const PathTable &paths,
+                         const MatchingSolution &solution) const;
+
+    /** Error-chain length (hops) of each matched pair/boundary. */
+    std::vector<int> chainLengths(const PathTable &paths,
+                                  const MatchingSolution &sol) const;
+};
+
+/** Build the complete defect graph of a syndrome. */
+DefectGraph buildDefectGraph(const std::vector<uint32_t> &defects,
+                             const PathTable &paths);
+
+} // namespace qec
+
+#endif // QEC_MATCHING_DEFECT_GRAPH_HPP

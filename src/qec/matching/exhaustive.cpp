@@ -1,0 +1,108 @@
+#include "qec/matching/exhaustive.hpp"
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+struct SearchState
+{
+    const MatchingProblem &problem;
+    std::vector<int> mate;
+    std::vector<int> best_mate;
+    double best = kNoEdge;
+    uint64_t explored = 0;
+
+    explicit SearchState(const MatchingProblem &p)
+        : problem(p), mate(p.n, -2), best_mate(p.n, -2)
+    {
+    }
+
+    void
+    recurse(int matched, double weight)
+    {
+        if (weight >= best) {
+            // Even a complete extension cannot improve (weights >= 0).
+            return;
+        }
+        const int n = problem.n;
+        int first = 0;
+        while (first < n && mate[first] != -2) {
+            ++first;
+        }
+        if (first == n) {
+            ++explored;
+            if (weight < best) {
+                best = weight;
+                best_mate = mate;
+            }
+            return;
+        }
+        (void)matched;
+
+        // Option 1: boundary.
+        const double bw = problem.boundaryWeight[first];
+        if (bw != kNoEdge) {
+            mate[first] = -1;
+            recurse(matched + 1, weight + bw);
+            mate[first] = -2;
+        }
+        // Option 2: each later unmatched defect.
+        for (int j = first + 1; j < n; ++j) {
+            if (mate[j] != -2) {
+                continue;
+            }
+            const double pw = problem.pair(first, j);
+            if (pw == kNoEdge) {
+                continue;
+            }
+            mate[first] = j;
+            mate[j] = first;
+            recurse(matched + 2, weight + pw);
+            mate[first] = -2;
+            mate[j] = -2;
+        }
+    }
+};
+
+} // namespace
+
+double
+matchingWeight(const MatchingProblem &problem,
+               const MatchingSolution &solution)
+{
+    double total = 0.0;
+    for (int i = 0; i < problem.n; ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            total += problem.boundaryWeight[i];
+        } else if (m > i) {
+            total += problem.pair(i, m);
+        }
+    }
+    return total;
+}
+
+MatchingSolution
+solveExhaustive(const MatchingProblem &problem, uint64_t *explored)
+{
+    SearchState state(problem);
+    state.recurse(0, 0.0);
+    MatchingSolution solution;
+    if (state.best == kNoEdge) {
+        solution.valid = false;
+        return solution;
+    }
+    solution.mate = state.best_mate;
+    solution.totalWeight = state.best;
+    solution.valid = true;
+    if (explored) {
+        *explored = state.explored;
+    }
+    return solution;
+}
+
+} // namespace qec

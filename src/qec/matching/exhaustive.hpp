@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Exhaustive minimum-weight matcher.
+ *
+ * Recursively enumerates every perfect matching (boundary matches
+ * included). This is the reference oracle for the blossom
+ * implementation and the exact engine behind the Astrea model, whose
+ * hardware performs precisely this brute-force search for HW <= 10
+ * (945 pairings at HW = 10, §2.3 of the paper).
+ */
+
+#ifndef QEC_MATCHING_EXHAUSTIVE_HPP
+#define QEC_MATCHING_EXHAUSTIVE_HPP
+
+#include <cstdint>
+
+#include "qec/matching/matching_problem.hpp"
+
+namespace qec
+{
+
+/**
+ * Solve by exhaustive search. Practical for n <= ~14.
+ *
+ * @param explored if non-null, receives the number of complete
+ *        matchings enumerated (the quantity Astrea's pipeline walks).
+ */
+MatchingSolution solveExhaustive(const MatchingProblem &problem,
+                                 uint64_t *explored = nullptr);
+
+} // namespace qec
+
+#endif // QEC_MATCHING_EXHAUSTIVE_HPP

@@ -1,0 +1,116 @@
+#include "qec/pauli/pauli.hpp"
+
+#include <algorithm>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+Pauli
+makePauli(bool x, bool z)
+{
+    return static_cast<Pauli>((x ? 1 : 0) | (z ? 2 : 0));
+}
+
+Pauli
+pauliProduct(Pauli a, Pauli b)
+{
+    return static_cast<Pauli>(static_cast<uint8_t>(a) ^
+                              static_cast<uint8_t>(b));
+}
+
+bool
+pauliAnticommute(Pauli a, Pauli b)
+{
+    // Anticommute iff the symplectic product x_a*z_b + z_a*x_b is odd.
+    return (pauliX(a) && pauliZ(b)) != (pauliZ(a) && pauliX(b));
+}
+
+char
+pauliChar(Pauli p)
+{
+    switch (p) {
+      case Pauli::I: return 'I';
+      case Pauli::X: return 'X';
+      case Pauli::Z: return 'Z';
+      case Pauli::Y: return 'Y';
+    }
+    QEC_PANIC("invalid Pauli value");
+}
+
+Pauli
+pauliFromChar(char c)
+{
+    switch (c) {
+      case 'I': return Pauli::I;
+      case 'X': return Pauli::X;
+      case 'Z': return Pauli::Z;
+      case 'Y': return Pauli::Y;
+      default: QEC_PANIC("invalid Pauli character");
+    }
+}
+
+void
+SparsePauli::mul(uint32_t qubit, Pauli p)
+{
+    if (p == Pauli::I) {
+        return;
+    }
+    auto it = std::lower_bound(qubits.begin(), qubits.end(), qubit);
+    const size_t idx = static_cast<size_t>(it - qubits.begin());
+    if (it != qubits.end() && *it == qubit) {
+        const Pauli merged = pauliProduct(ops[idx], p);
+        if (merged == Pauli::I) {
+            qubits.erase(qubits.begin() + idx);
+            ops.erase(ops.begin() + idx);
+        } else {
+            ops[idx] = merged;
+        }
+    } else {
+        qubits.insert(it, qubit);
+        ops.insert(ops.begin() + idx, p);
+    }
+}
+
+std::string
+SparsePauli::str() const
+{
+    if (qubits.empty()) {
+        return "I";
+    }
+    std::string out;
+    for (size_t i = 0; i < qubits.size(); ++i) {
+        if (i) {
+            out += '*';
+        }
+        out += pauliChar(ops[i]);
+        out += std::to_string(qubits[i]);
+    }
+    return out;
+}
+
+std::vector<std::pair<Pauli, Pauli>>
+twoQubitPaulis()
+{
+    std::vector<std::pair<Pauli, Pauli>> out;
+    out.reserve(15);
+    for (uint8_t a = 0; a < 4; ++a) {
+        for (uint8_t b = 0; b < 4; ++b) {
+            if (a == 0 && b == 0) {
+                continue;
+            }
+            out.emplace_back(static_cast<Pauli>(a),
+                             static_cast<Pauli>(b));
+        }
+    }
+    return out;
+}
+
+std::vector<Pauli>
+oneQubitPaulis()
+{
+    return {Pauli::X, Pauli::Y, Pauli::Z};
+}
+
+} // namespace qec

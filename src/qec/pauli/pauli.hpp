@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Single-qubit Pauli algebra and sparse Pauli strings.
+ *
+ * Phases are deliberately not tracked: Pauli-frame simulation and
+ * detector error models only need the X/Z components of each operator
+ * (global phase never affects measurement outcomes in stabilizer
+ * circuits).
+ */
+
+#ifndef QEC_PAULI_PAULI_HPP
+#define QEC_PAULI_PAULI_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qec
+{
+
+/** A phase-free single-qubit Pauli, encoded as (x bit, z bit). */
+enum class Pauli : uint8_t
+{
+    I = 0, //!< x=0, z=0
+    X = 1, //!< x=1, z=0
+    Z = 2, //!< x=0, z=1
+    Y = 3, //!< x=1, z=1
+};
+
+/** X component of a Pauli. */
+inline bool pauliX(Pauli p) { return static_cast<uint8_t>(p) & 1; }
+
+/** Z component of a Pauli. */
+inline bool pauliZ(Pauli p) { return static_cast<uint8_t>(p) & 2; }
+
+/** Build a Pauli from its X/Z components. */
+Pauli makePauli(bool x, bool z);
+
+/** Phase-free product of two Paulis (XOR of components). */
+Pauli pauliProduct(Pauli a, Pauli b);
+
+/** True if the two Paulis anticommute. */
+bool pauliAnticommute(Pauli a, Pauli b);
+
+/** One-character name: I, X, Y, or Z. */
+char pauliChar(Pauli p);
+
+/** Parse a one-character name; panics on anything else. */
+Pauli pauliFromChar(char c);
+
+/**
+ * A Pauli on a named subset of qubits (identity elsewhere).
+ *
+ * Used to describe elementary error mechanisms: e.g. the XZ component
+ * of a two-qubit depolarizing channel after a CX.
+ */
+struct SparsePauli
+{
+    /** Qubit indices, strictly ascending. */
+    std::vector<uint32_t> qubits;
+    /** Pauli on each listed qubit (same length as qubits). */
+    std::vector<Pauli> ops;
+
+    /** Number of non-identity sites. */
+    size_t weight() const { return qubits.size(); }
+
+    /** Add one site, keeping the qubit list sorted and merged. */
+    void mul(uint32_t qubit, Pauli p);
+
+    /** Human-readable form such as "X3*Z7". */
+    std::string str() const;
+
+    bool operator==(const SparsePauli &other) const = default;
+};
+
+/**
+ * The 15 non-identity two-qubit Paulis, in a fixed order, for
+ * expanding DEPOLARIZE2 channels into elementary mechanisms.
+ */
+std::vector<std::pair<Pauli, Pauli>> twoQubitPaulis();
+
+/** The 3 non-identity one-qubit Paulis in fixed order {X, Y, Z}. */
+std::vector<Pauli> oneQubitPaulis();
+
+} // namespace qec
+
+#endif // QEC_PAULI_PAULI_HPP

@@ -1,0 +1,87 @@
+#include "qec/predecode/clique.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec
+{
+
+PredecodeResult
+CliquePredecoder::predecode(const std::vector<uint32_t> &defects,
+                            long long cycle_budget)
+{
+    (void)cycle_budget;
+    PredecodeResult result;
+    result.rounds = 1;
+    // Clique's per-parity-bit logic runs in parallel across bits:
+    // constant pipeline depth regardless of HW.
+    result.cycles = 2;
+
+    // Local degrees within the defect set.
+    const int n = static_cast<int>(defects.size());
+    std::vector<int> deg(n, 0);
+    std::vector<int> only_neighbor(n, -1);
+    std::vector<uint32_t> pair_edge(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
+            const GraphEdge &edge = graph_.edges()[eid];
+            if (edge.v == kBoundary) {
+                continue;
+            }
+            const uint32_t other =
+                (edge.u == defects[i]) ? edge.v : edge.u;
+            const auto it = std::lower_bound(defects.begin(),
+                                             defects.end(), other);
+            if (it != defects.end() && *it == other) {
+                ++deg[i];
+                only_neighbor[i] =
+                    static_cast<int>(it - defects.begin());
+                pair_edge[i] = eid;
+            }
+        }
+    }
+
+    // Simple patterns: isolated pairs, or lone defects one hop from
+    // the boundary. All-or-nothing (NSM).
+    uint64_t obs = 0;
+    double weight = 0.0;
+    std::vector<bool> covered(n, false);
+    for (int i = 0; i < n; ++i) {
+        if (covered[i]) {
+            continue;
+        }
+        if (deg[i] == 1) {
+            const int j = only_neighbor[i];
+            if (deg[j] == 1 && only_neighbor[j] == i) {
+                covered[i] = true;
+                covered[j] = true;
+                obs ^= graph_.edges()[pair_edge[i]].obsMask;
+                weight += graph_.edges()[pair_edge[i]].weight;
+                continue;
+            }
+        } else if (deg[i] == 0) {
+            const int beid = graph_.boundaryEdge(defects[i]);
+            if (beid >= 0) {
+                covered[i] = true;
+                obs ^= graph_.edges()[beid].obsMask;
+                weight += graph_.edges()[beid].weight;
+                continue;
+            }
+        }
+    }
+
+    const bool all_covered =
+        std::all_of(covered.begin(), covered.end(),
+                    [](bool c) { return c; });
+    if (all_covered) {
+        result.decodedAll = true;
+        result.obsMask = obs;
+        result.weight = weight;
+    } else {
+        result.forwarded = true;
+        result.residual = defects;
+    }
+    return result;
+}
+
+} // namespace qec

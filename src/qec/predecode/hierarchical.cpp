@@ -1,0 +1,85 @@
+#include "qec/predecode/hierarchical.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+PredecodeResult
+HierarchicalPredecoder::predecode(
+    const std::vector<uint32_t> &defects, long long cycle_budget)
+{
+    (void)cycle_budget;
+    PredecodeResult result;
+    result.rounds = 1;
+    // Per-bit local logic evaluates in parallel (constant depth).
+    result.cycles = 2;
+
+    const auto &coords = graph_.coords();
+    const int n = static_cast<int>(defects.size());
+    std::vector<int> deg(n, 0);
+    std::vector<int> only_neighbor(n, -1);
+    std::vector<uint32_t> pair_edge(n, 0);
+    for (int i = 0; i < n; ++i) {
+        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
+            const GraphEdge &edge = graph_.edges()[eid];
+            if (edge.v == kBoundary) {
+                continue;
+            }
+            const uint32_t other =
+                (edge.u == defects[i]) ? edge.v : edge.u;
+            const auto it = std::lower_bound(defects.begin(),
+                                             defects.end(), other);
+            if (it != defects.end() && *it == other) {
+                ++deg[i];
+                only_neighbor[i] =
+                    static_cast<int>(it - defects.begin());
+                pair_edge[i] = eid;
+            }
+        }
+    }
+
+    // A pair is "weight-1 local" if both bits have each other as the
+    // unique neighbor and the pair is either time-like (same
+    // stabilizer, adjacent layers) or space-like within one layer.
+    uint64_t obs = 0;
+    double weight = 0.0;
+    std::vector<bool> covered(n, false);
+    for (int i = 0; i < n; ++i) {
+        if (covered[i] || deg[i] != 1) {
+            continue;
+        }
+        const int j = only_neighbor[i];
+        if (covered[j] || deg[j] != 1 || only_neighbor[j] != i) {
+            continue;
+        }
+        bool local = true;
+        if (!coords.empty()) {
+            const DetectorCoord &a = coords[defects[i]];
+            const DetectorCoord &b = coords[defects[j]];
+            const bool timelike = a.zOrdinal == b.zOrdinal &&
+                                  std::abs(a.layer - b.layer) == 1;
+            const bool spacelike = a.layer == b.layer;
+            local = timelike || spacelike;
+        }
+        if (local) {
+            covered[i] = true;
+            covered[j] = true;
+            obs ^= graph_.edges()[pair_edge[i]].obsMask;
+            weight += graph_.edges()[pair_edge[i]].weight;
+        }
+    }
+
+    if (std::all_of(covered.begin(), covered.end(),
+                    [](bool c) { return c; })) {
+        result.decodedAll = true;
+        result.obsMask = obs;
+        result.weight = weight;
+    } else {
+        result.forwarded = true;
+        result.residual = defects;
+    }
+    return result;
+}
+
+} // namespace qec

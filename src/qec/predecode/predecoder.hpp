@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Predecoder interface (Fig. 3 of the paper).
+ *
+ * A predecoder sees the syndrome before the main decoder. Syndrome-
+ * Modified (SM) predecoders prematch a subset of the flipped bits and
+ * hand the (smaller) residual to the main decoder; Non-Syndrome-
+ * Modified (NSM) predecoders either decode everything themselves or
+ * forward the syndrome untouched.
+ */
+
+#ifndef QEC_PREDECODE_PREDECODER_HPP
+#define QEC_PREDECODE_PREDECODER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/path_table.hpp"
+
+namespace qec
+{
+
+/** Which Promatch algorithm steps a syndrome exercised (Table 6). */
+struct StepUsage
+{
+    bool step1 = false; //!< Isolated pairs.
+    bool step2 = false; //!< Singleton-safe neighbor matches.
+    bool step3 = false; //!< Singleton rescue via shortest paths.
+    bool step4 = false; //!< Risky matches (may create singletons).
+
+    /** Deepest step reached: 0 (none) .. 4. */
+    int
+    deepest() const
+    {
+        if (step4) return 4;
+        if (step3) return 3;
+        if (step2) return 2;
+        if (step1) return 1;
+        return 0;
+    }
+};
+
+/** Outcome of predecoding one syndrome. */
+struct PredecodeResult
+{
+    /** Defects left for the main decoder (sorted). */
+    std::vector<uint32_t> residual;
+    /** Observable flips implied by the prematched corrections. */
+    uint64_t obsMask = 0;
+    /** Total weight of the prematched corrections. */
+    double weight = 0.0;
+    /** Modeled pipeline cycles consumed (§6.4 accounting). */
+    long long cycles = 0;
+    /** Predecode rounds executed. */
+    int rounds = 0;
+    /** NSM: the syndrome was forwarded unmodified. */
+    bool forwarded = false;
+    /** NSM: everything was decoded locally; residual is empty. */
+    bool decodedAll = false;
+    /** Steps used (meaningful for Promatch). */
+    StepUsage steps;
+};
+
+/** Abstract predecoder over a fixed decoding graph. */
+class Predecoder
+{
+  public:
+    Predecoder(const DecodingGraph &graph, const PathTable &paths)
+        : graph_(graph), paths_(paths)
+    {
+    }
+    virtual ~Predecoder() = default;
+
+    /**
+     * Predecode a syndrome.
+     *
+     * @param defects       sorted flipped-detector indices
+     * @param cycle_budget  pipeline cycles available before the main
+     *                      decoder must still fit (adaptive SM
+     *                      predecoders use this; NSM ones ignore it)
+     */
+    virtual PredecodeResult predecode(
+        const std::vector<uint32_t> &defects,
+        long long cycle_budget) = 0;
+
+    virtual std::string name() const = 0;
+
+  protected:
+    const DecodingGraph &graph_;
+    const PathTable &paths_;
+};
+
+} // namespace qec
+
+#endif // QEC_PREDECODE_PREDECODER_HPP

@@ -1,0 +1,383 @@
+#include "qec/predecode/promatch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qec/matching/matching_problem.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Decoding-subgraph state shared by the per-round logic. */
+struct Subgraph
+{
+    const DecodingGraph &graph;
+    std::vector<uint32_t> dets;   //!< Local index -> detector.
+    std::vector<bool> alive;
+    /** Local adjacency: (neighbor local index, edge id). */
+    std::vector<std::vector<std::pair<int, uint32_t>>> adj;
+    std::vector<int> deg;
+    std::vector<int> dependent;
+    int aliveCount = 0;
+
+    Subgraph(const DecodingGraph &g,
+             const std::vector<uint32_t> &defects)
+        : graph(g), dets(defects), alive(defects.size(), true),
+          adj(defects.size()), deg(defects.size(), 0),
+          dependent(defects.size(), 0),
+          aliveCount(static_cast<int>(defects.size()))
+    {
+        // Local index lookup (defects are sorted).
+        for (size_t i = 0; i < dets.size(); ++i) {
+            for (uint32_t eid : graph.adjacentEdges(dets[i])) {
+                const GraphEdge &edge = graph.edges()[eid];
+                if (edge.v == kBoundary) {
+                    continue;
+                }
+                const uint32_t other =
+                    (edge.u == dets[i]) ? edge.v : edge.u;
+                const auto it = std::lower_bound(
+                    dets.begin(), dets.end(), other);
+                if (it != dets.end() && *it == other) {
+                    const int j =
+                        static_cast<int>(it - dets.begin());
+                    if (j > static_cast<int>(i)) {
+                        adj[i].push_back({j, eid});
+                        adj[j].push_back({static_cast<int>(i),
+                                          eid});
+                    }
+                }
+            }
+        }
+        refresh();
+    }
+
+    /** Recompute degrees and #dependent counters (Fig. 9). */
+    void
+    refresh()
+    {
+        for (size_t i = 0; i < dets.size(); ++i) {
+            if (!alive[i]) {
+                deg[i] = 0;
+                continue;
+            }
+            int d = 0;
+            for (const auto &[j, eid] : adj[i]) {
+                if (alive[j]) {
+                    ++d;
+                }
+            }
+            deg[i] = d;
+        }
+        for (size_t i = 0; i < dets.size(); ++i) {
+            if (!alive[i]) {
+                dependent[i] = 0;
+                continue;
+            }
+            int dep = 0;
+            for (const auto &[j, eid] : adj[i]) {
+                if (alive[j] && deg[j] == 1) {
+                    ++dep;
+                }
+            }
+            dependent[i] = dep;
+        }
+    }
+
+    /** Alive-alive edges of the current subgraph. */
+    std::vector<std::pair<int, int>>
+    aliveEdges() const
+    {
+        std::vector<std::pair<int, int>> edges;
+        for (size_t i = 0; i < dets.size(); ++i) {
+            if (!alive[i]) {
+                continue;
+            }
+            for (const auto &[j, eid] : adj[i]) {
+                if (j > static_cast<int>(i) && alive[j]) {
+                    edges.push_back({static_cast<int>(i), j});
+                }
+            }
+        }
+        return edges;
+    }
+
+    /** Weight/obs of the direct edge between two alive neighbors. */
+    const GraphEdge &
+    edgeOf(int i, int j) const
+    {
+        for (const auto &[k, eid] : adj[i]) {
+            if (k == j) {
+                return graph.edges()[eid];
+            }
+        }
+        QEC_PANIC("edgeOf called on non-adjacent pair");
+    }
+
+    /** Hardware singleton check (Fig. 11): would matching (i, j)
+     *  strand a degree-1 neighbor? */
+    bool
+    createsSingletonHw(int i, int j) const
+    {
+        const int di = dependent[i] - (deg[j] == 1 ? 1 : 0);
+        const int dj = dependent[j] - (deg[i] == 1 ? 1 : 0);
+        return di + dj > 0;
+    }
+
+    /** Exact singleton check: recompute each neighbor's degree after
+     *  removing i and j. Also catches a shared degree-2 neighbor,
+     *  which the hardware counters miss. */
+    bool
+    createsSingletonExact(int i, int j) const
+    {
+        const auto strands_neighbor_of = [&](int a, int b) {
+            for (const auto &[k, eid] : adj[a]) {
+                if (k == b || !alive[k]) {
+                    continue;
+                }
+                const int new_deg = deg[k] - 1 -
+                                    (adjacent(k, b) ? 1 : 0);
+                if (new_deg == 0) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        return strands_neighbor_of(i, j) || strands_neighbor_of(j, i);
+    }
+
+    bool
+    adjacent(int a, int b) const
+    {
+        for (const auto &[k, eid] : adj[a]) {
+            if (k == b) {
+                return alive[b];
+            }
+        }
+        return false;
+    }
+
+    /** Would removing only node j (a Step-3 pair partner) strand a
+     *  neighbor of j? */
+    bool
+    removalCreatesSingleton(int j) const
+    {
+        return dependent[j] > 0;
+    }
+
+    void
+    kill(int i)
+    {
+        QEC_ASSERT(alive[i], "killing a dead node");
+        alive[i] = false;
+        --aliveCount;
+    }
+};
+
+} // namespace
+
+PredecodeResult
+PromatchPredecoder::predecode(const std::vector<uint32_t> &defects,
+                              long long cycle_budget)
+{
+    PredecodeResult result;
+    Subgraph sg(graph_, defects);
+    bool engaged = false;
+
+    // Adaptive HW target (§4.1): the largest T the main decoder can
+    // still afford given the cycles already burned.
+    const auto target_now = [&](long long used) -> int {
+        if (!config_.adaptiveTarget) {
+            return config_.fixedTarget;
+        }
+        for (int t : {latency_.astreaMaxHw, 8, 6}) {
+            const long long astrea = latency_.astreaCycles(t);
+            if (astrea >= 0 && used + astrea <= cycle_budget) {
+                return t;
+            }
+        }
+        return 6; // Nothing fits; keep shrinking, pipeline aborts.
+    };
+
+    const auto match_pair = [&](int i, int j) {
+        const GraphEdge &edge = sg.edgeOf(i, j);
+        result.obsMask ^= edge.obsMask;
+        result.weight += edge.weight;
+        sg.kill(i);
+        sg.kill(j);
+    };
+
+    const auto creates_singleton = [&](int i, int j) {
+        return config_.exactSingletonCheck
+                   ? sg.createsSingletonExact(i, j)
+                   : sg.createsSingletonHw(i, j);
+    };
+
+    int guard = 0;
+    while (true) {
+        QEC_ASSERT(++guard < 4096, "promatch failed to terminate");
+        const int hw = sg.aliveCount;
+        if (hw <= target_now(result.cycles)) {
+            break;
+        }
+        const auto edges = sg.aliveEdges();
+
+        if (!engaged) {
+            // Subgraph generation and edge-table loads (§4.2) are
+            // charged once when the predecoder engages.
+            engaged = true;
+            result.cycles += latency_.promatchFixedCycles;
+        }
+        // Round charge: the pipelines walk every subgraph edge,
+        // split across the configured parallel lanes.
+        const int lanes = std::max(1, latency_.promatchLanes);
+        result.cycles += (static_cast<long long>(edges.size()) +
+                          lanes - 1) /
+                         lanes;
+        ++result.rounds;
+        sg.refresh();
+
+        // --- Step 1: isolated pairs, applied as a batch.
+        std::vector<std::pair<int, int>> isolated;
+        for (const auto &[i, j] : edges) {
+            if (sg.deg[i] == 1 && sg.deg[j] == 1) {
+                isolated.push_back({i, j});
+            }
+        }
+        if (!isolated.empty()) {
+            result.steps.step1 = true;
+            for (const auto &[i, j] : isolated) {
+                if (sg.aliveCount <= target_now(result.cycles)) {
+                    break;
+                }
+                match_pair(i, j);
+            }
+            continue;
+        }
+
+        // --- Scan all edges for Step 2 / Step 4 candidates.
+        struct Candidate
+        {
+            double weight = kNoEdge;
+            int i = -1, j = -1;
+        };
+        Candidate c21, c22, c41, c42;
+        const auto consider = [&](Candidate &c, int i, int j,
+                                  double w) {
+            if (w < c.weight) {
+                c = {w, i, j};
+            }
+        };
+        for (const auto &[i, j] : edges) {
+            const double w = sg.edgeOf(i, j).weight;
+            const bool deg1 =
+                std::min(sg.deg[i], sg.deg[j]) == 1;
+            if (!creates_singleton(i, j)) {
+                consider(deg1 ? c21 : c22, i, j, w);
+            } else {
+                consider(deg1 ? c41 : c42, i, j, w);
+            }
+        }
+
+        // --- Step 3: singleton rescue via shortest paths, only when
+        // no safe Step-2 candidate exists (Algorithm 1).
+        struct Step3Candidate
+        {
+            double weight = kNoEdge;
+            int singleton = -1;
+            int partner = -1; //!< Local index, or -1 for boundary.
+        };
+        Step3Candidate c3;
+        bool used_step3_scan = false;
+        if (config_.enableStep3 && c21.i < 0 && c22.i < 0) {
+            std::vector<int> singletons;
+            for (size_t i = 0; i < sg.dets.size(); ++i) {
+                if (sg.alive[i] && sg.deg[i] == 0) {
+                    singletons.push_back(static_cast<int>(i));
+                }
+            }
+            if (!singletons.empty()) {
+                used_step3_scan = true;
+                long long paths = 0;
+                for (int s : singletons) {
+                    // Boundary is always a legal partner.
+                    ++paths;
+                    const double bw =
+                        paths_.distToBoundary(sg.dets[s]);
+                    if (std::isfinite(bw) && bw < c3.weight) {
+                        c3 = {bw, s, -1};
+                    }
+                    for (size_t i = 0; i < sg.dets.size(); ++i) {
+                        const int ii = static_cast<int>(i);
+                        if (!sg.alive[i] || ii == s) {
+                            continue;
+                        }
+                        ++paths;
+                        if (sg.removalCreatesSingleton(ii)) {
+                            continue;
+                        }
+                        const double w = paths_.dist(
+                            sg.dets[s], sg.dets[i]);
+                        if (std::isfinite(w) && w < c3.weight) {
+                            c3 = {w, s, ii};
+                        }
+                    }
+                }
+                // Step-3 charge: the path engine runs beside the
+                // edge pipeline (§6.4), also split across lanes.
+                const int lanes3 =
+                    std::max(1, latency_.promatchLanes);
+                result.cycles +=
+                    (std::max(paths,
+                              static_cast<long long>(
+                                  edges.size())) +
+                     lanes3 - 1) /
+                    lanes3;
+            }
+        }
+
+        // --- Commit exactly one match, in priority order.
+        if (c21.i >= 0) {
+            result.steps.step2 = true;
+            match_pair(c21.i, c21.j);
+        } else if (c22.i >= 0) {
+            result.steps.step2 = true;
+            match_pair(c22.i, c22.j);
+        } else if (used_step3_scan && c3.singleton >= 0) {
+            result.steps.step3 = true;
+            if (c3.partner < 0) {
+                result.obsMask ^=
+                    paths_.boundaryObs(sg.dets[c3.singleton]);
+                result.weight += c3.weight;
+                sg.kill(c3.singleton);
+            } else {
+                result.obsMask ^= paths_.pathObs(
+                    sg.dets[c3.singleton], sg.dets[c3.partner]);
+                result.weight += c3.weight;
+                sg.kill(c3.singleton);
+                sg.kill(c3.partner);
+            }
+        } else if (config_.enableStep4 && c41.i >= 0) {
+            result.steps.step4 = true;
+            match_pair(c41.i, c41.j);
+        } else if (config_.enableStep4 && c42.i >= 0) {
+            result.steps.step4 = true;
+            match_pair(c42.i, c42.j);
+        } else {
+            break; // No candidate anywhere: coverage exhausted.
+        }
+    }
+
+    for (size_t i = 0; i < sg.dets.size(); ++i) {
+        if (sg.alive[i]) {
+            result.residual.push_back(sg.dets[i]);
+        }
+    }
+    return result;
+}
+
+} // namespace qec

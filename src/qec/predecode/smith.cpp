@@ -1,0 +1,69 @@
+#include "qec/predecode/smith.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+PredecodeResult
+SmithPredecoder::predecode(const std::vector<uint32_t> &defects,
+                           long long cycle_budget)
+{
+    (void)cycle_budget; // Not adaptive: one fixed pass.
+    PredecodeResult result;
+    result.rounds = 1;
+
+    // Collect subgraph edges (defect-defect adjacencies).
+    struct LocalEdge
+    {
+        double weight;
+        uint32_t eid;
+        int i, j;
+    };
+    std::vector<LocalEdge> edges;
+    for (size_t i = 0; i < defects.size(); ++i) {
+        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
+            const GraphEdge &edge = graph_.edges()[eid];
+            if (edge.v == kBoundary) {
+                continue;
+            }
+            const uint32_t other =
+                (edge.u == defects[i]) ? edge.v : edge.u;
+            const auto it = std::lower_bound(defects.begin(),
+                                             defects.end(), other);
+            if (it != defects.end() && *it == other) {
+                const int j = static_cast<int>(it - defects.begin());
+                if (j > static_cast<int>(i)) {
+                    edges.push_back({edge.weight, eid,
+                                     static_cast<int>(i), j});
+                }
+            }
+        }
+    }
+    result.cycles = static_cast<long long>(edges.size());
+
+    std::sort(edges.begin(), edges.end(),
+              [](const LocalEdge &a, const LocalEdge &b) {
+                  return a.weight < b.weight;
+              });
+
+    std::vector<bool> matched(defects.size(), false);
+    for (const LocalEdge &edge : edges) {
+        if (matched[edge.i] || matched[edge.j]) {
+            continue;
+        }
+        matched[edge.i] = true;
+        matched[edge.j] = true;
+        result.obsMask ^= graph_.edges()[edge.eid].obsMask;
+        result.weight += graph_.edges()[edge.eid].weight;
+    }
+
+    for (size_t i = 0; i < defects.size(); ++i) {
+        if (!matched[i]) {
+            result.residual.push_back(defects[i]);
+        }
+    }
+    return result;
+}
+
+} // namespace qec

@@ -1,0 +1,124 @@
+#include "qec/sim/error_enumerator.hpp"
+
+#include <array>
+#include <bit>
+
+#include "qec/pauli/pauli.hpp"
+#include "qec/sim/frame_simulator.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+/** An injection together with the probability of its fault. */
+struct WeightedInjection
+{
+    Injection injection;
+    double prob;
+};
+
+/** List every elementary fault of the circuit. */
+std::vector<WeightedInjection>
+enumerateFaults(const Circuit &circuit)
+{
+    std::vector<WeightedInjection> faults;
+    const auto &instructions = circuit.instructions();
+    for (uint32_t idx = 0; idx < instructions.size(); ++idx) {
+        const Instruction &inst = instructions[idx];
+        switch (inst.type) {
+          case OpType::XError:
+          case OpType::ZError: {
+            const Pauli p = (inst.type == OpType::XError) ? Pauli::X
+                                                          : Pauli::Z;
+            for (uint32_t t = 0; t < inst.targets.size(); ++t) {
+                faults.push_back(
+                    {{idx, t, p, Pauli::I, false}, inst.arg});
+            }
+            break;
+          }
+
+          case OpType::Depolarize1:
+            for (uint32_t t = 0; t < inst.targets.size(); ++t) {
+                for (Pauli p : oneQubitPaulis()) {
+                    faults.push_back(
+                        {{idx, t, p, Pauli::I, false},
+                         inst.arg / 3.0});
+                }
+            }
+            break;
+
+          case OpType::Depolarize2:
+            for (uint32_t pair = 0;
+                 pair < inst.targets.size() / 2; ++pair) {
+                for (const auto &[pa, pb] : twoQubitPaulis()) {
+                    faults.push_back(
+                        {{idx, pair, pa, pb, false},
+                         inst.arg / 15.0});
+                }
+            }
+            break;
+
+          case OpType::M:
+            if (inst.arg > 0.0) {
+                for (uint32_t t = 0; t < inst.targets.size(); ++t) {
+                    faults.push_back(
+                        {{idx, t, Pauli::I, Pauli::I, true},
+                         inst.arg});
+                }
+            }
+            break;
+
+          default:
+            break;
+        }
+    }
+    return faults;
+}
+
+} // namespace
+
+DetectorErrorModel
+buildDetectorErrorModel(const Circuit &circuit)
+{
+    DetectorErrorModel dem(circuit.numDetectors(),
+                           circuit.numObservables());
+    const std::vector<WeightedInjection> faults =
+        enumerateFaults(circuit);
+
+    FrameSimulator simulator(circuit);
+    BatchResult batch;
+    std::vector<Injection> lane_injections;
+    for (size_t base = 0; base < faults.size(); base += 64) {
+        const size_t lanes =
+            std::min<size_t>(64, faults.size() - base);
+        lane_injections.clear();
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            lane_injections.push_back(faults[base + lane].injection);
+        }
+        simulator.runInjections(lane_injections, batch);
+        // Scatter flipped detectors to their lanes; the loop is
+        // proportional to the number of flips, not detectors*lanes.
+        std::array<std::vector<uint32_t>, 64> lane_dets;
+        for (size_t det = 0; det < batch.detectors.size(); ++det) {
+            uint64_t bits = batch.detectors[det];
+            while (bits) {
+                const int lane = std::countr_zero(bits);
+                bits &= bits - 1;
+                lane_dets[lane].push_back(
+                    static_cast<uint32_t>(det));
+            }
+        }
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            dem.addMechanism(std::move(lane_dets[lane]),
+                             batch.observableMask(
+                                 static_cast<int>(lane)),
+                             faults[base + lane].prob);
+        }
+    }
+    return dem;
+}
+
+} // namespace qec

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Exhaustive fault enumeration: circuit -> detector error model.
+ *
+ * Every elementary fault the noise model can produce (each Pauli
+ * component of each channel instance, and each measurement record
+ * flip) is propagated deterministically through the remainder of the
+ * circuit using the batch frame simulator, 64 faults at a time. The
+ * resulting (detector set, observable mask, probability) triples are
+ * merged into a DetectorErrorModel.
+ */
+
+#ifndef QEC_SIM_ERROR_ENUMERATOR_HPP
+#define QEC_SIM_ERROR_ENUMERATOR_HPP
+
+#include "qec/circuit/circuit.hpp"
+#include "qec/dem/dem.hpp"
+
+namespace qec
+{
+
+/** Build the detector error model of a noisy circuit. */
+DetectorErrorModel buildDetectorErrorModel(const Circuit &circuit);
+
+} // namespace qec
+
+#endif // QEC_SIM_ERROR_ENUMERATOR_HPP

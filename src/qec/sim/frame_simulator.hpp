@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Batch Pauli-frame simulator.
+ *
+ * Simulates 64 shots at once by packing one shot per bit of a 64-bit
+ * word (the same trick Stim uses). A Pauli frame tracks, per qubit,
+ * whether an X and/or Z error has been accumulated relative to the
+ * noiseless reference execution; Clifford gates act linearly on the
+ * frame, and Z-basis measurement outcomes are flipped exactly by the
+ * X component of the frame.
+ *
+ * Two modes share the propagation core:
+ *  - Monte-Carlo sampling: noise channels draw random errors.
+ *  - Deterministic injection: noise channels are inert and a chosen
+ *    set of elementary faults is inserted instead (one per bit lane).
+ *    The fault enumerator uses this to build detector error models.
+ */
+
+#ifndef QEC_SIM_FRAME_SIMULATOR_HPP
+#define QEC_SIM_FRAME_SIMULATOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "qec/circuit/circuit.hpp"
+#include "qec/pauli/pauli.hpp"
+#include "qec/util/bitvec.hpp"
+#include "qec/util/rng.hpp"
+
+namespace qec
+{
+
+/** Detector and observable outcomes for a batch of <= 64 shots. */
+struct BatchResult
+{
+    /** One 64-lane word per detector. */
+    std::vector<uint64_t> detectors;
+    /** One 64-lane word per observable. */
+    std::vector<uint64_t> observables;
+
+    /** Detector values of one lane as a BitVec. */
+    BitVec detectorBits(int lane) const;
+
+    /** Observable word of one lane (bit o = observable o flipped). */
+    uint64_t observableMask(int lane) const;
+};
+
+/** An elementary fault to insert during deterministic propagation. */
+struct Injection
+{
+    /** Index of the instruction the fault is attached to. */
+    uint32_t opIndex = 0;
+    /**
+     * Which target the fault acts on: for Depolarize2 this is the
+     * pair index (0 = first pair), otherwise the target index.
+     */
+    uint32_t targetOffset = 0;
+    /** Pauli applied to the (first) qubit of the target. */
+    Pauli p1 = Pauli::I;
+    /** Pauli applied to the second qubit of a pair (Depolarize2). */
+    Pauli p2 = Pauli::I;
+    /** If true, flip the measurement record bit instead (M faults). */
+    bool recordFlip = false;
+};
+
+/** Batch Pauli-frame simulator over a fixed circuit. */
+class FrameSimulator
+{
+  public:
+    explicit FrameSimulator(const Circuit &circuit);
+
+    /** Monte-Carlo sample 64 shots; results overwrite `out`. */
+    void sampleBatch(Rng &rng, BatchResult &out);
+
+    /**
+     * Deterministically propagate up to 64 injected faults, one per
+     * lane (lane i gets injections[i]); noise channels are skipped.
+     * Lanes beyond injections.size() stay fault-free.
+     */
+    void runInjections(const std::vector<Injection> &injections,
+                       BatchResult &out);
+
+    /**
+     * Convenience: sample `shots` shots and count how often each
+     * (any-detector-nonzero, observable-flipped) case occurs.
+     * Returns the number of shots in which observable 0 flipped.
+     */
+    uint64_t countObservableFlips(Rng &rng, uint64_t shots);
+
+  private:
+    void run(Rng *rng, const std::vector<Injection> *injections,
+             BatchResult &out);
+
+    const Circuit &circuit_;
+    // Frame state: one 64-lane word per qubit.
+    std::vector<uint64_t> frameX;
+    std::vector<uint64_t> frameZ;
+    std::vector<uint64_t> record;
+};
+
+} // namespace qec
+
+#endif // QEC_SIM_FRAME_SIMULATOR_HPP

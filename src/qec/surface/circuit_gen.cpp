@@ -1,0 +1,246 @@
+#include "qec/surface/circuit_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+/**
+ * Corner visit orders (offsets into the plaquette) for the two
+ * stabilizer types. An X fault on an X ancilla (the CX control)
+ * mid-round sprays a partial X stabilizer onto the corners visited
+ * *after* the fault; the dangerous case is the two-corner suffix
+ * after step 1. X plaquettes therefore sweep NW, NE, SW, SE ("N"
+ * shape) so that suffix {SW, SE} is a horizontal pair —
+ * perpendicular to the vertical logical X, preserving the effective
+ * distance of the Z-memory experiment. Z plaquettes sweep
+ * NW, SW, NE, SE ("Z" shape) so their Z hooks land vertically,
+ * perpendicular to the horizontal logical Z (the symmetric property
+ * for X memory). The two orders share steps 0 and 3 and differ in
+ * the middle, which the checkerboard parity makes conflict-free
+ * (asserted below).
+ */
+constexpr std::array<std::pair<int, int>, 4> kOrderZ = {
+    {{0, 0}, {1, 0}, {0, 1}, {1, 1}}};
+constexpr std::array<std::pair<int, int>, 4> kOrderX = {
+    {{0, 0}, {0, 1}, {1, 0}, {1, 1}}};
+
+/** Data qubit at a plaquette corner, or -1 if off-grid. */
+int
+cornerData(const SurfaceCodeLayout &layout, const Stabilizer &stab,
+           std::pair<int, int> offset)
+{
+    const int r = stab.row + offset.first;
+    const int c = stab.col + offset.second;
+    const int d = layout.distance();
+    if (r < 0 || r >= d || c < 0 || c >= d) {
+        return -1;
+    }
+    return static_cast<int>(layout.dataIndex(r, c));
+}
+
+} // namespace
+
+namespace
+{
+
+/** Shared generator for both measurement bases. */
+MemoryExperiment
+generateMemory(const SurfaceCodeLayout &layout, int rounds,
+               const NoiseParams &noise, StabType basis)
+{
+    QEC_ASSERT(rounds >= 1, "memory experiment needs >= 1 round");
+
+    MemoryExperiment exp;
+    exp.rounds = rounds;
+    Circuit &circuit = exp.circuit;
+    circuit.setNumQubits(layout.numQubits());
+
+    std::vector<uint32_t> all_data;
+    for (uint32_t q = 0; q < layout.numDataQubits(); ++q) {
+        all_data.push_back(q);
+    }
+    std::vector<uint32_t> all_ancilla, x_ancilla;
+    for (const Stabilizer &stab : layout.stabilizers()) {
+        all_ancilla.push_back(stab.ancilla);
+        if (stab.type == StabType::X) {
+            x_ancilla.push_back(stab.ancilla);
+        }
+    }
+
+    // Precompute the CX pair list for each of the 4 schedule steps and
+    // assert that no qubit is touched twice within a step.
+    std::array<std::vector<uint32_t>, 4> step_pairs;
+    for (int step = 0; step < 4; ++step) {
+        std::set<uint32_t> touched;
+        for (const Stabilizer &stab : layout.stabilizers()) {
+            const auto offset = (stab.type == StabType::Z)
+                                    ? kOrderZ[step]
+                                    : kOrderX[step];
+            const int data = cornerData(layout, stab, offset);
+            if (data < 0) {
+                continue;
+            }
+            // Z ancillas are CX targets (collect data X parity);
+            // X ancillas are CX controls (spread X to data).
+            uint32_t control, target;
+            if (stab.type == StabType::Z) {
+                control = static_cast<uint32_t>(data);
+                target = stab.ancilla;
+            } else {
+                control = stab.ancilla;
+                target = static_cast<uint32_t>(data);
+            }
+            QEC_ASSERT(touched.insert(control).second,
+                       "CX schedule conflict on control qubit");
+            QEC_ASSERT(touched.insert(target).second,
+                       "CX schedule conflict on target qubit");
+            step_pairs[step].push_back(control);
+            step_pairs[step].push_back(target);
+        }
+    }
+
+    // --- Initialization: reset everything, with reset errors. For
+    // the X basis the data qubits are then rotated into |+> (with
+    // one-qubit gate noise on the H layer).
+    circuit.appendReset(all_data);
+    if (noise.resetFlip > 0.0) {
+        circuit.appendXError(all_data, noise.resetFlip);
+    }
+    if (basis == StabType::X) {
+        circuit.appendH(all_data);
+        if (noise.gateDepolarize1 > 0.0) {
+            circuit.appendDepolarize1(all_data,
+                                      noise.gateDepolarize1);
+        }
+    }
+
+    // Measurement record base index of each round's ancilla block.
+    std::vector<uint32_t> round_meas_base(rounds, 0);
+
+    for (int round = 0; round < rounds; ++round) {
+        circuit.appendTick();
+
+        // (1) Start-of-round depolarizing on data qubits.
+        if (noise.dataDepolarize > 0.0) {
+            circuit.appendDepolarize1(all_data, noise.dataDepolarize);
+        }
+
+        // Ancilla reset (with initialization errors).
+        circuit.appendReset(all_ancilla);
+        if (noise.resetFlip > 0.0) {
+            circuit.appendXError(all_ancilla, noise.resetFlip);
+        }
+
+        // Basis change for X stabilizers.
+        circuit.appendH(x_ancilla);
+        if (noise.gateDepolarize1 > 0.0) {
+            circuit.appendDepolarize1(x_ancilla, noise.gateDepolarize1);
+        }
+
+        // Four CX layers with two-qubit depolarizing after each.
+        for (int step = 0; step < 4; ++step) {
+            circuit.appendCx(step_pairs[step]);
+            if (noise.gateDepolarize2 > 0.0) {
+                circuit.appendDepolarize2(step_pairs[step],
+                                          noise.gateDepolarize2);
+            }
+        }
+
+        circuit.appendH(x_ancilla);
+        if (noise.gateDepolarize1 > 0.0) {
+            circuit.appendDepolarize1(x_ancilla, noise.gateDepolarize1);
+        }
+
+        // Measure all ancillas (stabilizer order).
+        round_meas_base[round] =
+            circuit.appendMeasure(all_ancilla, noise.measureFlip);
+
+        // Detectors on the stabilizers of the memory basis only.
+        const auto &z_stabs = (basis == StabType::Z)
+                                  ? layout.zStabilizers()
+                                  : layout.xStabilizers();
+        for (uint32_t zo = 0; zo < z_stabs.size(); ++zo) {
+            const uint32_t stab_index = z_stabs[zo];
+            const uint32_t rec = round_meas_base[round] + stab_index;
+            if (round == 0) {
+                circuit.appendDetector({rec});
+            } else {
+                const uint32_t prev =
+                    round_meas_base[round - 1] + stab_index;
+                circuit.appendDetector({rec, prev});
+            }
+            const Stabilizer &stab =
+                layout.stabilizers()[stab_index];
+            exp.detectors.push_back(
+                {zo, round, stab.row, stab.col});
+        }
+    }
+
+    // --- Final transversal data measurement (basis change first
+    // for X memory).
+    circuit.appendTick();
+    if (basis == StabType::X) {
+        circuit.appendH(all_data);
+        if (noise.gateDepolarize1 > 0.0) {
+            circuit.appendDepolarize1(all_data,
+                                      noise.gateDepolarize1);
+        }
+    }
+    const uint32_t data_base =
+        circuit.appendMeasure(all_data, noise.measureFlip);
+
+    const auto &z_stabs = (basis == StabType::Z)
+                              ? layout.zStabilizers()
+                              : layout.xStabilizers();
+    for (uint32_t zo = 0; zo < z_stabs.size(); ++zo) {
+        const uint32_t stab_index = z_stabs[zo];
+        const Stabilizer &stab = layout.stabilizers()[stab_index];
+        std::vector<uint32_t> recs;
+        for (uint32_t q : stab.support) {
+            recs.push_back(data_base + q);
+        }
+        recs.push_back(round_meas_base[rounds - 1] + stab_index);
+        circuit.appendDetector(recs);
+        exp.detectors.push_back({zo, rounds, stab.row, stab.col});
+    }
+
+    std::vector<uint32_t> obs_recs;
+    const auto &logical = (basis == StabType::Z)
+                              ? layout.logicalZSupport()
+                              : layout.logicalXSupport();
+    for (uint32_t q : logical) {
+        obs_recs.push_back(data_base + q);
+    }
+    circuit.appendObservable(0, obs_recs);
+
+    circuit.validate();
+    QEC_ASSERT(exp.detectors.size() == circuit.numDetectors(),
+               "detector metadata out of sync");
+    return exp;
+}
+
+} // namespace
+
+MemoryExperiment
+generateMemoryZ(const SurfaceCodeLayout &layout, int rounds,
+                const NoiseParams &noise)
+{
+    return generateMemory(layout, rounds, noise, StabType::Z);
+}
+
+MemoryExperiment
+generateMemoryX(const SurfaceCodeLayout &layout, int rounds,
+                const NoiseParams &noise)
+{
+    return generateMemory(layout, rounds, noise, StabType::X);
+}
+
+} // namespace qec

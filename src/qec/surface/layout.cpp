@@ -1,0 +1,211 @@
+#include "qec/surface/layout.hpp"
+
+#include <algorithm>
+
+#include "qec/gf2/gf2.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+SurfaceCodeLayout::SurfaceCodeLayout(int distance) : d(distance)
+{
+    QEC_ASSERT(d >= 3 && (d % 2) == 1,
+               "rotated surface code requires odd distance >= 3");
+    buildStabilizers();
+    validate();
+    deriveLogicals();
+}
+
+uint32_t
+SurfaceCodeLayout::dataIndex(int row, int col) const
+{
+    QEC_ASSERT(row >= 0 && row < d && col >= 0 && col < d,
+               "data coordinate out of range");
+    return static_cast<uint32_t>(row * d + col);
+}
+
+void
+SurfaceCodeLayout::buildStabilizers()
+{
+    // Plaquette (r, c) has data corners (r,c), (r,c+1), (r+1,c),
+    // (r+1,c+1) clipped to the grid. Checkerboard: Z-type iff (r+c)
+    // is even. Weight-2 boundary plaquettes are kept only where their
+    // type belongs: X on top/bottom rows, Z on left/right columns.
+    std::vector<Stabilizer> z_list, x_list;
+    for (int r = -1; r < d; ++r) {
+        for (int c = -1; c < d; ++c) {
+            std::vector<uint32_t> support;
+            for (int dr = 0; dr <= 1; ++dr) {
+                for (int dc = 0; dc <= 1; ++dc) {
+                    const int rr = r + dr, cc = c + dc;
+                    if (rr >= 0 && rr < d && cc >= 0 && cc < d) {
+                        support.push_back(dataIndex(rr, cc));
+                    }
+                }
+            }
+            if (support.size() < 2) {
+                continue;
+            }
+            const StabType type =
+                ((r + c) % 2 == 0) ? StabType::Z : StabType::X;
+            if (support.size() == 2) {
+                const bool top_bottom = (r == -1 || r == d - 1);
+                if (top_bottom && type != StabType::X) {
+                    continue;
+                }
+                if (!top_bottom && type != StabType::Z) {
+                    continue;
+                }
+            }
+            std::sort(support.begin(), support.end());
+            Stabilizer stab{type, r, c, std::move(support), 0};
+            (type == StabType::Z ? z_list : x_list)
+                .push_back(std::move(stab));
+        }
+    }
+
+    // Z stabilizers first, then X; ancilla indices follow the data.
+    stabs.clear();
+    for (auto &s : z_list) {
+        stabs.push_back(std::move(s));
+    }
+    for (auto &s : x_list) {
+        stabs.push_back(std::move(s));
+    }
+    for (size_t i = 0; i < stabs.size(); ++i) {
+        stabs[i].ancilla =
+            numDataQubits() + static_cast<uint32_t>(i);
+        if (stabs[i].type == StabType::Z) {
+            zIdx.push_back(static_cast<uint32_t>(i));
+        } else {
+            xIdx.push_back(static_cast<uint32_t>(i));
+        }
+    }
+}
+
+void
+SurfaceCodeLayout::validate() const
+{
+    const uint32_t expected = static_cast<uint32_t>(d * d - 1);
+    QEC_ASSERT(stabs.size() == expected,
+               "stabilizer count != d*d-1");
+    QEC_ASSERT(zIdx.size() == expected / 2 && xIdx.size() == expected / 2,
+               "Z/X stabilizer counts unbalanced");
+
+    // Pairwise commutation: every X stabilizer must overlap every Z
+    // stabilizer in an even number of data qubits.
+    for (uint32_t zi : zIdx) {
+        for (uint32_t xi : xIdx) {
+            const auto &a = stabs[zi].support;
+            const auto &b = stabs[xi].support;
+            int overlap = 0;
+            for (uint32_t q : a) {
+                if (std::binary_search(b.begin(), b.end(), q)) {
+                    ++overlap;
+                }
+            }
+            QEC_ASSERT(overlap % 2 == 0,
+                       "X and Z stabilizers anticommute");
+        }
+    }
+
+    // GF(2) independence of each stabilizer family.
+    Gf2Matrix z_mat(0, numDataQubits());
+    Gf2Matrix x_mat(0, numDataQubits());
+    for (uint32_t zi : zIdx) {
+        BitVec row(numDataQubits());
+        for (uint32_t q : stabs[zi].support) {
+            row.set(q, true);
+        }
+        z_mat.appendRow(row);
+    }
+    for (uint32_t xi : xIdx) {
+        BitVec row(numDataQubits());
+        for (uint32_t q : stabs[xi].support) {
+            row.set(q, true);
+        }
+        x_mat.appendRow(row);
+    }
+    QEC_ASSERT(z_mat.rank() == zIdx.size(),
+               "Z stabilizers not independent");
+    QEC_ASSERT(x_mat.rank() == xIdx.size(),
+               "X stabilizers not independent");
+}
+
+void
+SurfaceCodeLayout::deriveLogicals()
+{
+    // Build support matrices once more (cheap at these sizes).
+    Gf2Matrix z_mat(0, numDataQubits());
+    Gf2Matrix x_mat(0, numDataQubits());
+    for (uint32_t zi : zIdx) {
+        BitVec row(numDataQubits());
+        for (uint32_t q : stabs[zi].support) {
+            row.set(q, true);
+        }
+        z_mat.appendRow(row);
+    }
+    for (uint32_t xi : xIdx) {
+        BitVec row(numDataQubits());
+        for (uint32_t q : stabs[xi].support) {
+            row.set(q, true);
+        }
+        x_mat.appendRow(row);
+    }
+
+    // Logical X: an X-type operator, i.e. a data-qubit set with even
+    // overlap with every Z stabilizer (kernel of z_mat) that is not a
+    // product of X stabilizers (outside x_mat's row space). Prefer a
+    // straight column, which exists in this convention.
+    auto find_logical = [&](const Gf2Matrix &commute_with,
+                            const Gf2Matrix &modulo,
+                            bool try_columns) -> std::vector<uint32_t> {
+        // Straight-line candidates first (column for L_X, row for L_Z).
+        for (int i = 0; i < d; ++i) {
+            BitVec v(numDataQubits());
+            for (int j = 0; j < d; ++j) {
+                const int r = try_columns ? j : i;
+                const int c = try_columns ? i : j;
+                v.set(dataIndex(r, c), true);
+            }
+            bool commutes = true;
+            for (size_t s = 0; s < commute_with.rows(); ++s) {
+                if (gf2Dot(commute_with.row(s), v)) {
+                    commutes = false;
+                    break;
+                }
+            }
+            if (commutes && !modulo.inRowSpace(v)) {
+                return v.onesIndices();
+            }
+        }
+        // Fall back to any kernel vector outside the row space.
+        for (const BitVec &v : commute_with.kernelBasis()) {
+            if (!modulo.inRowSpace(v)) {
+                return v.onesIndices();
+            }
+        }
+        QEC_PANIC("no logical operator representative found");
+    };
+
+    logicalX = find_logical(z_mat, x_mat, /*try_columns=*/true);
+    logicalZ = find_logical(x_mat, z_mat, /*try_columns=*/false);
+
+    // Logical X and logical Z must anticommute (odd overlap).
+    int overlap = 0;
+    for (uint32_t q : logicalX) {
+        if (std::binary_search(logicalZ.begin(), logicalZ.end(), q)) {
+            ++overlap;
+        }
+    }
+    QEC_ASSERT(overlap % 2 == 1, "logical X and Z do not anticommute");
+
+    // Minimum weight check: representatives should achieve distance d.
+    QEC_ASSERT(static_cast<int>(logicalX.size()) == d,
+               "logical X representative is not weight d");
+    QEC_ASSERT(static_cast<int>(logicalZ.size()) == d,
+               "logical Z representative is not weight d");
+}
+
+} // namespace qec

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fatal/panic helpers in the spirit of gem5's logging.hh.
+ *
+ * qecPanic() is for internal invariant violations (library bugs);
+ * qecFatal() is for unusable user input (bad configuration).
+ */
+
+#ifndef QEC_UTIL_ASSERT_HPP
+#define QEC_UTIL_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qec
+{
+
+/** Abort with a message; use for "should never happen" conditions. */
+[[noreturn]] inline void
+qecPanic(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+/** Exit with a message; use for invalid user-supplied configuration. */
+[[noreturn]] inline void
+qecFatal(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace qec
+
+#define QEC_PANIC(msg) ::qec::qecPanic(__FILE__, __LINE__, (msg))
+#define QEC_FATAL(msg) ::qec::qecFatal(__FILE__, __LINE__, (msg))
+
+/** Always-on invariant check (not compiled out in release builds). */
+#define QEC_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::qec::qecPanic(__FILE__, __LINE__, (msg));                     \
+        }                                                                   \
+    } while (0)
+
+#endif // QEC_UTIL_ASSERT_HPP

@@ -1,0 +1,95 @@
+#include "qec/util/bitvec.hpp"
+
+#include <bit>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+BitVec::BitVec(size_t num_bits)
+    : numBits(num_bits), words((num_bits + 63) / 64, 0)
+{
+}
+
+bool
+BitVec::get(size_t i) const
+{
+    QEC_ASSERT(i < numBits, "BitVec::get out of range");
+    return (words[i >> 6] >> (i & 63)) & 1;
+}
+
+void
+BitVec::set(size_t i, bool value)
+{
+    QEC_ASSERT(i < numBits, "BitVec::set out of range");
+    const uint64_t bit = 1ull << (i & 63);
+    if (value) {
+        words[i >> 6] |= bit;
+    } else {
+        words[i >> 6] &= ~bit;
+    }
+}
+
+void
+BitVec::flip(size_t i)
+{
+    QEC_ASSERT(i < numBits, "BitVec::flip out of range");
+    words[i >> 6] ^= 1ull << (i & 63);
+}
+
+void
+BitVec::clear()
+{
+    for (auto &w : words) {
+        w = 0;
+    }
+}
+
+BitVec &
+BitVec::operator^=(const BitVec &other)
+{
+    QEC_ASSERT(numBits == other.numBits, "BitVec size mismatch in xor");
+    for (size_t w = 0; w < words.size(); ++w) {
+        words[w] ^= other.words[w];
+    }
+    return *this;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words) {
+        total += std::popcount(w);
+    }
+    return total;
+}
+
+bool
+BitVec::none() const
+{
+    for (uint64_t w : words) {
+        if (w) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<uint32_t>
+BitVec::onesIndices() const
+{
+    std::vector<uint32_t> out;
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t bits = words[w];
+        while (bits) {
+            const int b = std::countr_zero(bits);
+            out.push_back(static_cast<uint32_t>(w * 64 + b));
+            bits &= bits - 1;
+        }
+    }
+    return out;
+}
+
+} // namespace qec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A dynamic bit vector with word-level access.
+ *
+ * Syndromes, Pauli frames, and GF(2) rows all need a compact bit
+ * container with fast XOR, popcount, and per-word access for the
+ * 64-shot batch simulator. std::vector<bool> provides none of that,
+ * so we roll a small one.
+ */
+
+#ifndef QEC_UTIL_BITVEC_HPP
+#define QEC_UTIL_BITVEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qec
+{
+
+/** Fixed-length bit vector backed by 64-bit words. */
+class BitVec
+{
+  public:
+    BitVec() = default;
+
+    /** Construct with all bits cleared. */
+    explicit BitVec(size_t num_bits);
+
+    /** Number of addressable bits. */
+    size_t size() const { return numBits; }
+
+    /** Read one bit. */
+    bool get(size_t i) const;
+
+    /** Write one bit. */
+    void set(size_t i, bool value);
+
+    /** XOR one bit with value. */
+    void flip(size_t i);
+
+    /** Clear all bits. */
+    void clear();
+
+    /** XOR another vector of the same length into this one. */
+    BitVec &operator^=(const BitVec &other);
+
+    bool operator==(const BitVec &other) const = default;
+
+    /** Number of set bits. */
+    size_t popcount() const;
+
+    /** True if no bit is set. */
+    bool none() const;
+
+    /** Indices of all set bits, ascending. */
+    std::vector<uint32_t> onesIndices() const;
+
+    /** Direct word access for batch kernels. */
+    uint64_t word(size_t w) const { return words[w]; }
+    uint64_t &word(size_t w) { return words[w]; }
+    size_t numWords() const { return words.size(); }
+
+  private:
+    size_t numBits = 0;
+    std::vector<uint64_t> words;
+};
+
+} // namespace qec
+
+#endif // QEC_UTIL_BITVEC_HPP

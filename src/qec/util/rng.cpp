@@ -1,0 +1,182 @@
+#include "qec/util/rng.hpp"
+
+#include <cmath>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    QEC_ASSERT(bound >= 1, "nextBelow requires bound >= 1");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = bound * (UINT64_MAX / bound);
+    uint64_t v;
+    do {
+        v = next64();
+    } while (v >= limit);
+    return v % bound;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0) {
+        return false;
+    }
+    if (p >= 1.0) {
+        return true;
+    }
+    return nextDouble() < p;
+}
+
+int
+Rng::nextBinomial(int n, double p)
+{
+    if (n <= 0 || p <= 0.0) {
+        return 0;
+    }
+    if (p >= 1.0) {
+        return n;
+    }
+    // Inversion by sequential search on the CDF. Expected work is
+    // O(n*p + 1), which is ideal for the tiny n*p this library uses.
+    const double q = 1.0 - p;
+    double pmf = std::pow(q, n);
+    double cdf = pmf;
+    const double u = nextDouble();
+    int k = 0;
+    const double ratio = p / q;
+    while (u > cdf && k < n) {
+        pmf *= ratio * static_cast<double>(n - k) /
+               static_cast<double>(k + 1);
+        cdf += pmf;
+        ++k;
+    }
+    return k;
+}
+
+uint64_t
+Rng::biasedMask64(double p)
+{
+    if (p <= 0.0) {
+        return 0;
+    }
+    if (p >= 1.0) {
+        return ~0ull;
+    }
+    // Draw the number of set bits, then place them uniformly. For the
+    // common Monte-Carlo case (p ~ 1e-4) the binomial draw returns 0
+    // almost always, so this is one nextDouble() per call.
+    const int ones = nextBinomial(64, p);
+    if (ones == 0) {
+        return 0;
+    }
+    uint64_t mask = 0;
+    int placed = 0;
+    while (placed < ones) {
+        const uint64_t bit = 1ull << nextBelow(64);
+        if (!(mask & bit)) {
+            mask |= bit;
+            ++placed;
+        }
+    }
+    return mask;
+}
+
+std::vector<uint32_t>
+Rng::weightedSampleDistinct(const std::vector<double> &weights, int k)
+{
+    const int n = static_cast<int>(weights.size());
+    QEC_ASSERT(k <= n, "cannot sample more items than available");
+    std::vector<uint32_t> chosen;
+    chosen.reserve(k);
+    // Successive draws from the residual distribution. k is small
+    // (<= 24 in the importance sampler), so O(k*n) is fine.
+    std::vector<bool> used(n, false);
+    double total = 0.0;
+    for (double w : weights) {
+        total += w;
+    }
+    for (int pick = 0; pick < k; ++pick) {
+        double u = nextDouble() * total;
+        int selected = -1;
+        for (int i = 0; i < n; ++i) {
+            if (used[i]) {
+                continue;
+            }
+            u -= weights[i];
+            if (u <= 0.0) {
+                selected = i;
+                break;
+            }
+        }
+        if (selected < 0) {
+            // Numerical slack: take the last unused index.
+            for (int i = n - 1; i >= 0; --i) {
+                if (!used[i]) {
+                    selected = i;
+                    break;
+                }
+            }
+        }
+        QEC_ASSERT(selected >= 0, "weighted sampling ran out of items");
+        used[selected] = true;
+        total -= weights[selected];
+        chosen.push_back(static_cast<uint32_t>(selected));
+    }
+    return chosen;
+}
+
+} // namespace qec

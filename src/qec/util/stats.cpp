@@ -1,0 +1,65 @@
+#include "qec/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qec
+{
+
+void
+WeightedStats::add(double value, double weight)
+{
+    if (numSamples == 0) {
+        maxValue = value;
+        minValue = value;
+    } else {
+        maxValue = std::max(maxValue, value);
+        minValue = std::min(minValue, value);
+    }
+    weightSum += weight;
+    weightedValueSum += weight * value;
+    ++numSamples;
+}
+
+double
+WeightedStats::mean() const
+{
+    return weightSum > 0.0 ? weightedValueSum / weightSum : 0.0;
+}
+
+void
+RateStats::add(bool success)
+{
+    numSuccesses += success ? 1 : 0;
+    ++numTrials;
+}
+
+void
+RateStats::addMany(uint64_t successes, uint64_t trials)
+{
+    numSuccesses += successes;
+    numTrials += trials;
+}
+
+double
+RateStats::rate() const
+{
+    return numTrials > 0 ? static_cast<double>(numSuccesses) /
+                               static_cast<double>(numTrials)
+                         : 0.0;
+}
+
+double
+RateStats::wilsonHalfWidth() const
+{
+    if (numTrials == 0) {
+        return 0.0;
+    }
+    const double z = 1.96;
+    const double n = static_cast<double>(numTrials);
+    const double p = rate();
+    return z * std::sqrt(p * (1.0 - p) / n + z * z / (4 * n * n)) /
+           (1.0 + z * z / n);
+}
+
+} // namespace qec

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the evaluation harness.
+ */
+
+#ifndef QEC_UTIL_STATS_HPP
+#define QEC_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qec
+{
+
+/**
+ * Weighted streaming accumulator for mean / max / total.
+ *
+ * The importance sampler attaches an occurrence weight to every sample
+ * (Eq. 1 of the paper); latency and coverage statistics are therefore
+ * weighted averages rather than plain ones.
+ */
+class WeightedStats
+{
+  public:
+    /** Record one observation with the given weight (default 1). */
+    void add(double value, double weight = 1.0);
+
+    /** Weighted arithmetic mean; 0 if nothing was recorded. */
+    double mean() const;
+
+    /** Largest recorded value; 0 if nothing was recorded. */
+    double max() const { return maxValue; }
+
+    /** Smallest recorded value; 0 if nothing was recorded. */
+    double min() const { return minValue; }
+
+    /** Sum of all weights. */
+    double totalWeight() const { return weightSum; }
+
+    /** Number of add() calls. */
+    size_t count() const { return numSamples; }
+
+  private:
+    double weightSum = 0.0;
+    double weightedValueSum = 0.0;
+    double maxValue = 0.0;
+    double minValue = 0.0;
+    size_t numSamples = 0;
+};
+
+/** Bernoulli success-rate accumulator with a Wilson confidence bound. */
+class RateStats
+{
+  public:
+    /** Record one trial. */
+    void add(bool success);
+
+    /** Record many trials at once. */
+    void addMany(uint64_t successes, uint64_t trials);
+
+    double rate() const;
+    uint64_t successes() const { return numSuccesses; }
+    uint64_t trials() const { return numTrials; }
+
+    /** Half-width of the 95% Wilson score interval. */
+    double wilsonHalfWidth() const;
+
+  private:
+    uint64_t numSuccesses = 0;
+    uint64_t numTrials = 0;
+};
+
+} // namespace qec
+
+#endif // QEC_UTIL_STATS_HPP

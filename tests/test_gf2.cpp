@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for GF(2) linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/gf2/gf2.hpp"
+#include "qec/util/rng.hpp"
+
+namespace qec
+{
+namespace
+{
+
+BitVec
+makeRow(std::initializer_list<int> bits, size_t width)
+{
+    BitVec row(width);
+    for (int b : bits) {
+        row.set(b, true);
+    }
+    return row;
+}
+
+TEST(Gf2, RankOfIdentity)
+{
+    Gf2Matrix m(0, 4);
+    for (int i = 0; i < 4; ++i) {
+        m.appendRow(makeRow({i}, 4));
+    }
+    EXPECT_EQ(m.rank(), 4u);
+}
+
+TEST(Gf2, RankWithDependentRows)
+{
+    Gf2Matrix m(0, 4);
+    m.appendRow(makeRow({0, 1}, 4));
+    m.appendRow(makeRow({1, 2}, 4));
+    m.appendRow(makeRow({0, 2}, 4)); // Sum of the first two.
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2, KernelVectorsAnnihilate)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 50; ++trial) {
+        const size_t rows = 4 + rng.nextBelow(4);
+        const size_t cols = 6 + rng.nextBelow(5);
+        Gf2Matrix m(0, cols);
+        for (size_t r = 0; r < rows; ++r) {
+            BitVec row(cols);
+            for (size_t c = 0; c < cols; ++c) {
+                row.set(c, rng.nextBool(0.5));
+            }
+            m.appendRow(row);
+        }
+        const auto basis = m.kernelBasis();
+        EXPECT_EQ(basis.size(), cols - m.rank());
+        for (const BitVec &k : basis) {
+            for (size_t r = 0; r < rows; ++r) {
+                EXPECT_FALSE(gf2Dot(m.row(r), k))
+                    << "kernel vector fails at trial " << trial;
+            }
+        }
+    }
+}
+
+TEST(Gf2, KernelBasisIsIndependent)
+{
+    Gf2Matrix m(0, 6);
+    m.appendRow(makeRow({0, 1, 2}, 6));
+    m.appendRow(makeRow({2, 3}, 6));
+    const auto basis = m.kernelBasis();
+    Gf2Matrix basis_mat(0, 6);
+    for (const BitVec &k : basis) {
+        basis_mat.appendRow(k);
+    }
+    EXPECT_EQ(basis_mat.rank(), basis.size());
+}
+
+TEST(Gf2, InRowSpace)
+{
+    Gf2Matrix m(0, 4);
+    m.appendRow(makeRow({0, 1}, 4));
+    m.appendRow(makeRow({1, 2}, 4));
+    EXPECT_TRUE(m.inRowSpace(makeRow({0, 2}, 4)));
+    EXPECT_TRUE(m.inRowSpace(makeRow({0, 1}, 4)));
+    EXPECT_TRUE(m.inRowSpace(BitVec(4))); // Zero vector.
+    EXPECT_FALSE(m.inRowSpace(makeRow({3}, 4)));
+    EXPECT_FALSE(m.inRowSpace(makeRow({0}, 4)));
+}
+
+TEST(Gf2, DotProduct)
+{
+    EXPECT_FALSE(gf2Dot(makeRow({0, 1}, 4), makeRow({2, 3}, 4)));
+    EXPECT_TRUE(gf2Dot(makeRow({0, 1}, 4), makeRow({1, 2}, 4)));
+    EXPECT_FALSE(gf2Dot(makeRow({0, 1}, 4), makeRow({0, 1}, 4)));
+}
+
+} // namespace
+} // namespace qec

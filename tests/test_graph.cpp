@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the decoding graph and path tables, including a
+ * Floyd-Warshall cross-check of the Dijkstra all-pairs distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/path_table.hpp"
+#include "qec/harness/context.hpp"
+
+namespace qec
+{
+namespace
+{
+
+GraphlikeDem
+smallDem()
+{
+    // 0 -(0.1)- 1 -(0.1)- 2 ; 0 -(0.01)- B ; 2 -(0.2)- B
+    // plus a heavy direct 0-2 edge that shortest paths must avoid.
+    GraphlikeDem dem;
+    dem.numDetectors = 3;
+    dem.numObservables = 1;
+    dem.edges.push_back({0, 1, 0, 0.1});
+    dem.edges.push_back({1, 2, 0, 0.1});
+    dem.edges.push_back({0, 2, 1, 0.001});
+    dem.edges.push_back({0, kBoundary, 1, 0.01});
+    dem.edges.push_back({2, kBoundary, 0, 0.2});
+    return dem;
+}
+
+TEST(DecodingGraph, BuildsAdjacency)
+{
+    const DecodingGraph graph = DecodingGraph::fromDem(smallDem());
+    EXPECT_EQ(graph.numDetectors(), 3u);
+    EXPECT_EQ(graph.edges().size(), 5u);
+    EXPECT_EQ(graph.adjacentEdges(1).size(), 2u);
+    EXPECT_GE(graph.boundaryEdge(0), 0);
+    EXPECT_EQ(graph.boundaryEdge(1), -1);
+    EXPECT_GE(graph.edgeBetween(0, 1), 0);
+    EXPECT_EQ(graph.edgeBetween(1, 0), graph.edgeBetween(0, 1));
+}
+
+TEST(DecodingGraph, WeightIsLogLikelihoodRatio)
+{
+    const DecodingGraph graph = DecodingGraph::fromDem(smallDem());
+    const int eid = graph.edgeBetween(0, 1);
+    ASSERT_GE(eid, 0);
+    EXPECT_NEAR(graph.edges()[eid].weight,
+                std::log(0.9 / 0.1), 1e-12);
+}
+
+TEST(DecodingGraph, MergesParallelEdgesKeepingDominantObs)
+{
+    GraphlikeDem dem;
+    dem.numDetectors = 2;
+    dem.numObservables = 1;
+    dem.edges.push_back({0, 1, 0, 0.2});
+    dem.edges.push_back({0, 1, 1, 0.01});
+    const DecodingGraph graph = DecodingGraph::fromDem(dem);
+    ASSERT_EQ(graph.edges().size(), 1u);
+    EXPECT_EQ(graph.edges()[0].obsMask, 0ull);
+    EXPECT_NEAR(graph.edges()[0].prob,
+                0.2 * 0.99 + 0.01 * 0.8, 1e-12);
+    EXPECT_EQ(graph.obsConflicts(), 1u);
+}
+
+TEST(PathTable, ShortestPathsAvoidHeavyEdge)
+{
+    const DecodingGraph graph = DecodingGraph::fromDem(smallDem());
+    const PathTable paths(graph);
+    const double w01 = std::log(0.9 / 0.1);
+    // 0->2 goes through 1 (2*w01) instead of the heavy direct edge.
+    EXPECT_NEAR(paths.dist(0, 2), 2 * w01, 1e-6);
+    EXPECT_EQ(paths.pathHops(0, 2), 2);
+    // Observable parity along 0-1-2 is 0 (both edges obs-free).
+    EXPECT_EQ(paths.pathObs(0, 2), 0ull);
+    EXPECT_DOUBLE_EQ(paths.dist(1, 1), 0.0);
+}
+
+TEST(PathTable, BoundaryUsesBestAttachment)
+{
+    const DecodingGraph graph = DecodingGraph::fromDem(smallDem());
+    const PathTable paths(graph);
+    // Node 0 attaches directly (p=0.01 edge).
+    EXPECT_NEAR(paths.distToBoundary(0), std::log(0.99 / 0.01),
+                1e-6);
+    EXPECT_EQ(paths.boundaryHops(0), 1);
+    EXPECT_EQ(paths.boundaryObs(0), 1ull);
+    // Node 1's best boundary route is via node 2 (w12 + w2B is
+    // cheaper than w01 + w0B).
+    const double expected = std::log(0.9 / 0.1) +
+                            std::log(0.8 / 0.2);
+    EXPECT_NEAR(paths.distToBoundary(1), expected, 1e-6);
+    EXPECT_EQ(paths.boundaryHops(1), 2);
+    EXPECT_EQ(paths.boundaryObs(1), 0ull);
+}
+
+TEST(PathTable, MatchesFloydWarshallOnSurfaceGraph)
+{
+    const auto &ctx = ExperimentContext::get(3, 1e-3);
+    const DecodingGraph &graph = ctx.graph();
+    const PathTable &paths = ctx.paths();
+    const uint32_t n = graph.numDetectors();
+
+    // Floyd-Warshall reference.
+    std::vector<std::vector<double>> dist(
+        n, std::vector<double>(n, 1e18));
+    for (uint32_t i = 0; i < n; ++i) {
+        dist[i][i] = 0.0;
+    }
+    for (const GraphEdge &edge : graph.edges()) {
+        if (edge.v == kBoundary) {
+            continue;
+        }
+        dist[edge.u][edge.v] =
+            std::min(dist[edge.u][edge.v], edge.weight);
+        dist[edge.v][edge.u] = dist[edge.u][edge.v];
+    }
+    for (uint32_t k = 0; k < n; ++k) {
+        for (uint32_t i = 0; i < n; ++i) {
+            for (uint32_t j = 0; j < n; ++j) {
+                dist[i][j] = std::min(dist[i][j],
+                                      dist[i][k] + dist[k][j]);
+            }
+        }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+        for (uint32_t j = 0; j < n; ++j) {
+            ASSERT_NEAR(paths.dist(i, j), dist[i][j], 1e-4)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(PathTable, SurfaceGraphBoundaryReachableEverywhere)
+{
+    const auto &ctx = ExperimentContext::get(3, 1e-3);
+    for (uint32_t det = 0; det < ctx.graph().numDetectors();
+         ++det) {
+        EXPECT_TRUE(std::isfinite(ctx.paths().distToBoundary(det)));
+        EXPECT_GT(ctx.paths().distToBoundary(det), 0.0);
+    }
+}
+
+} // namespace
+} // namespace qec

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the evaluation harness: histograms, conditional
+ * statistics, the importance sampler's distributional properties,
+ * report formatting, and the hardware resource models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qec/harness/context.hpp"
+#include "qec/harness/histogram.hpp"
+#include "qec/harness/importance_sampler.hpp"
+#include "qec/harness/report.hpp"
+#include "qec/hwmodel/resources.hpp"
+
+namespace qec
+{
+namespace
+{
+
+TEST(Histogram, AccumulatesAndNormalizes)
+{
+    WeightedHistogram hist;
+    hist.add(2, 0.5);
+    hist.add(2, 0.25);
+    hist.add(5, 0.25);
+    EXPECT_EQ(hist.maxBin(), 5);
+    EXPECT_DOUBLE_EQ(hist.weightAt(2), 0.75);
+    EXPECT_DOUBLE_EQ(hist.weightAt(3), 0.0);
+    EXPECT_DOUBLE_EQ(hist.totalWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(hist.probabilityAt(5, hist.totalWeight()),
+                     0.25);
+}
+
+TEST(Histogram, EmptyIsSane)
+{
+    WeightedHistogram hist;
+    EXPECT_EQ(hist.maxBin(), -1);
+    EXPECT_DOUBLE_EQ(hist.weightAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.probabilityAt(3, 0.0), 0.0);
+}
+
+TEST(HwConditional, ConditionalRates)
+{
+    HwConditionalStats stats;
+    stats.record(12, 1.0, false);
+    stats.record(12, 1.0, true);
+    stats.record(20, 2.0, true);
+    stats.record(5, 10.0, false);
+    EXPECT_DOUBLE_EQ(stats.conditionalFailRate(11, 15), 0.5);
+    EXPECT_DOUBLE_EQ(stats.conditionalFailRate(11, 30), 0.75);
+    EXPECT_DOUBLE_EQ(stats.conditionalFailRate(0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(stats.mass(11, 30), 4.0);
+    EXPECT_EQ(stats.samplesIn(11, 30), 3u);
+}
+
+TEST(ImportanceSampler, OccurrenceMatchesPoissonForUniformProbs)
+{
+    // For M mechanisms of identical probability the Poisson-
+    // binomial is an exact binomial.
+    DetectorErrorModel dem(40, 1);
+    const int m = 30;
+    const double p = 0.01;
+    for (int i = 0; i < m; ++i) {
+        dem.addMechanism({static_cast<uint32_t>(i)}, 0, p);
+    }
+    ImportanceSampler sampler(dem, 8);
+    double binom = std::pow(1 - p, m);
+    for (int k = 1; k <= 8; ++k) {
+        binom = binom * (p / (1 - p)) *
+                static_cast<double>(m - k + 1) / k;
+        EXPECT_NEAR(sampler.occurrenceProb(k), binom,
+                    1e-12 + 1e-9 * binom)
+            << "k=" << k;
+    }
+}
+
+TEST(ImportanceSampler, SamplesHaveRequestedFaultCountParity)
+{
+    // k distinct single-detector mechanisms -> exactly k defects.
+    DetectorErrorModel dem(64, 1);
+    for (uint32_t i = 0; i < 40; ++i) {
+        dem.addMechanism({i}, 0, 1e-3);
+    }
+    ImportanceSampler sampler(dem, 10);
+    Rng rng(8);
+    for (int k = 1; k <= 10; ++k) {
+        for (int s = 0; s < 50; ++s) {
+            const auto sample = sampler.sample(k, rng);
+            EXPECT_EQ(sample.defects.size(),
+                      static_cast<size_t>(k));
+        }
+    }
+}
+
+TEST(ImportanceSampler, WeightsBiasTowardProbableMechanisms)
+{
+    DetectorErrorModel dem(4, 1);
+    dem.addMechanism({0}, 0, 0.2);
+    dem.addMechanism({1}, 0, 0.001);
+    ImportanceSampler sampler(dem, 1);
+    Rng rng(5);
+    int heavy = 0;
+    const int trials = 2000;
+    for (int s = 0; s < trials; ++s) {
+        const auto sample = sampler.sample(1, rng);
+        heavy += (sample.defects[0] == 0);
+    }
+    // w0/w1 = 0.25/0.001001 -> ~99.6% of draws pick mechanism 0.
+    EXPECT_GT(heavy, trials * 0.98);
+}
+
+TEST(Report, TableRendersAllCells)
+{
+    ReportTable table("demo", {"a", "bb"});
+    table.addRow({"1", "2"});
+    table.addRow({"333"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(Report, Formatting)
+{
+    EXPECT_EQ(formatSci(3.4e-15), "3.40e-15");
+    EXPECT_EQ(formatFixed(1.25, 1), "1.2");
+    EXPECT_EQ(formatRatio(5.0, 2.0), "2.5x");
+    EXPECT_EQ(formatRatio(5.0, 0.0), "-");
+}
+
+TEST(HwModel, StorageMatchesPaperArithmetic)
+{
+    const auto &ctx11 = ExperimentContext::get(11, 1e-4);
+    const auto &ctx13 = ExperimentContext::get(13, 1e-4);
+    const StorageEstimate s11 = estimateStorage(ctx11.graph());
+    const StorageEstimate s13 = estimateStorage(ctx13.graph());
+    // Path table: n^2 cells at 2 bits; paper reports 129/345 KB.
+    EXPECT_EQ(s11.pathTableBytes, 720ull * 720ull * 2 / 8);
+    EXPECT_EQ(s13.pathTableBytes, 1176ull * 1176ull * 2 / 8);
+    EXPECT_NEAR(static_cast<double>(s11.pathTableBytes) / 1024.0,
+                129.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(s13.pathTableBytes) / 1024.0,
+                345.0, 10.0);
+    // Edge tables: ~3.6 KB and ~6 KB.
+    EXPECT_NEAR(static_cast<double>(s11.edgeTableBytes) / 1024.0,
+                3.6, 0.5);
+    EXPECT_NEAR(static_cast<double>(s13.edgeTableBytes) / 1024.0,
+                6.0, 0.5);
+}
+
+TEST(HwModel, FpgaEstimateScalesWithLanes)
+{
+    const auto &ctx = ExperimentContext::get(11, 1e-4);
+    const FpgaEstimate one = estimateFpga(ctx.graph(), 1);
+    const FpgaEstimate eight = estimateFpga(ctx.graph(), 8);
+    EXPECT_GT(one.luts, 0u);
+    EXPECT_GT(eight.luts, one.luts);
+    EXPECT_GT(eight.flipFlops, one.flipFlops);
+    // The paper synthesizes at 3% LUTs; the model must stay small.
+    EXPECT_LT(eight.lutPercent, 3.0);
+}
+
+TEST(Context, CacheReturnsSameInstance)
+{
+    const auto &a = ExperimentContext::get(3, 1e-3);
+    const auto &b = ExperimentContext::get(3, 1e-3);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.rounds(), 3);
+    EXPECT_EQ(a.graph().numDetectors(),
+              a.experiment().circuit.numDetectors());
+}
+
+} // namespace
+} // namespace qec

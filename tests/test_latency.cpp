@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the hardware latency model (§6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/decoders/latency.hpp"
+
+namespace qec
+{
+namespace
+{
+
+TEST(Latency, MatchingCountMatchesPaper)
+{
+    // §2.3: 945 possible matchings at Hamming weight 10.
+    EXPECT_EQ(LatencyConfig::matchingCount(10), 945);
+    EXPECT_EQ(LatencyConfig::matchingCount(2), 1);
+    EXPECT_EQ(LatencyConfig::matchingCount(4), 3);
+    EXPECT_EQ(LatencyConfig::matchingCount(6), 15);
+    EXPECT_EQ(LatencyConfig::matchingCount(8), 105);
+    // Odd HW: one defect pairs with the boundary.
+    EXPECT_EQ(LatencyConfig::matchingCount(3), 3);
+    EXPECT_EQ(LatencyConfig::matchingCount(5), 15);
+    EXPECT_EQ(LatencyConfig::matchingCount(0), 0);
+}
+
+TEST(Latency, AstreaCyclesMonotone)
+{
+    LatencyConfig cfg;
+    long long prev = 0;
+    for (int hw = 1; hw <= cfg.astreaMaxHw; ++hw) {
+        const long long cycles = cfg.astreaCycles(hw);
+        ASSERT_GE(cycles, prev);
+        prev = cycles;
+    }
+}
+
+TEST(Latency, AstreaLatencyNearPublishedValue)
+{
+    // Astrea reports ~456 ns at HW = 10; the model should land in
+    // the same ballpark (within ~20%).
+    LatencyConfig cfg;
+    const double ns = cfg.astreaLatencyNs(10);
+    EXPECT_GT(ns, 380.0);
+    EXPECT_LT(ns, 550.0);
+}
+
+TEST(Latency, BeyondMaxHwIsUnreachable)
+{
+    LatencyConfig cfg;
+    EXPECT_LT(cfg.astreaCycles(11), 0);
+    EXPECT_LT(cfg.astreaLatencyNs(12), 0.0);
+}
+
+TEST(Latency, EffectiveBudgetReservesCompareCycles)
+{
+    LatencyConfig cfg;
+    EXPECT_DOUBLE_EQ(cfg.effectiveBudgetNs(),
+                     1000.0 - 10 * 4.0); // 960 ns (§6.4).
+}
+
+TEST(Latency, TargetLadderFitsWithinBudget)
+{
+    // All three adaptive targets {10, 8, 6} must be affordable in a
+    // fresh budget, and the ladder must be strictly cheaper.
+    LatencyConfig cfg;
+    const long long budget = static_cast<long long>(
+        cfg.effectiveBudgetNs() / cfg.nsPerCycle);
+    EXPECT_LE(cfg.astreaCycles(10), budget);
+    EXPECT_LT(cfg.astreaCycles(8), cfg.astreaCycles(10));
+    EXPECT_LT(cfg.astreaCycles(6), cfg.astreaCycles(8));
+}
+
+} // namespace
+} // namespace qec

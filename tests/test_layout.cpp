@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the rotated surface code layout.
+ *
+ * The constructor already proves commutation/rank/logical properties;
+ * these tests re-verify the key invariants externally and pin down
+ * conventions the rest of the library depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "qec/surface/layout.hpp"
+
+namespace qec
+{
+namespace
+{
+
+class LayoutTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LayoutTest, Counts)
+{
+    const int d = GetParam();
+    SurfaceCodeLayout layout(d);
+    EXPECT_EQ(layout.distance(), d);
+    EXPECT_EQ(layout.numDataQubits(),
+              static_cast<uint32_t>(d * d));
+    EXPECT_EQ(layout.numStabilizers(),
+              static_cast<uint32_t>(d * d - 1));
+    EXPECT_EQ(layout.zStabilizers().size(),
+              static_cast<size_t>((d * d - 1) / 2));
+    EXPECT_EQ(layout.xStabilizers().size(),
+              static_cast<size_t>((d * d - 1) / 2));
+}
+
+TEST_P(LayoutTest, SupportSizesAreTwoOrFour)
+{
+    SurfaceCodeLayout layout(GetParam());
+    for (const Stabilizer &stab : layout.stabilizers()) {
+        EXPECT_TRUE(stab.support.size() == 2 ||
+                    stab.support.size() == 4);
+    }
+}
+
+TEST_P(LayoutTest, EveryDataQubitInAtMostTwoZStabilizers)
+{
+    SurfaceCodeLayout layout(GetParam());
+    std::map<uint32_t, int> z_count;
+    for (uint32_t zi : layout.zStabilizers()) {
+        for (uint32_t q : layout.stabilizers()[zi].support) {
+            ++z_count[q];
+        }
+    }
+    for (const auto &[q, count] : z_count) {
+        EXPECT_LE(count, 2) << "data qubit " << q;
+    }
+    // Every data qubit is covered by at least one Z stabilizer.
+    EXPECT_EQ(z_count.size(), layout.numDataQubits());
+}
+
+TEST_P(LayoutTest, AncillaIndicesAreContiguousAfterData)
+{
+    SurfaceCodeLayout layout(GetParam());
+    uint32_t expected = layout.numDataQubits();
+    for (const Stabilizer &stab : layout.stabilizers()) {
+        EXPECT_EQ(stab.ancilla, expected);
+        ++expected;
+    }
+}
+
+TEST_P(LayoutTest, LogicalOperatorsHaveWeightD)
+{
+    const int d = GetParam();
+    SurfaceCodeLayout layout(d);
+    EXPECT_EQ(layout.logicalZSupport().size(),
+              static_cast<size_t>(d));
+    EXPECT_EQ(layout.logicalXSupport().size(),
+              static_cast<size_t>(d));
+}
+
+TEST_P(LayoutTest, LogicalZCommutesWithAllXStabilizers)
+{
+    SurfaceCodeLayout layout(GetParam());
+    const auto &lz = layout.logicalZSupport();
+    for (uint32_t xi : layout.xStabilizers()) {
+        const auto &support = layout.stabilizers()[xi].support;
+        int overlap = 0;
+        for (uint32_t q : support) {
+            if (std::find(lz.begin(), lz.end(), q) != lz.end()) {
+                ++overlap;
+            }
+        }
+        EXPECT_EQ(overlap % 2, 0);
+    }
+}
+
+TEST_P(LayoutTest, LogicalXCommutesWithAllZStabilizers)
+{
+    SurfaceCodeLayout layout(GetParam());
+    const auto &lx = layout.logicalXSupport();
+    for (uint32_t zi : layout.zStabilizers()) {
+        const auto &support = layout.stabilizers()[zi].support;
+        int overlap = 0;
+        for (uint32_t q : support) {
+            if (std::find(lx.begin(), lx.end(), q) != lx.end()) {
+                ++overlap;
+            }
+        }
+        EXPECT_EQ(overlap % 2, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LayoutTest,
+                         ::testing::Values(3, 5, 7, 9, 11, 13));
+
+TEST(Layout, RejectsEvenDistance)
+{
+    EXPECT_DEATH(SurfaceCodeLayout(4), "odd distance");
+}
+
+TEST(Layout, DataIndexIsRowMajor)
+{
+    SurfaceCodeLayout layout(5);
+    EXPECT_EQ(layout.dataIndex(0, 0), 0u);
+    EXPECT_EQ(layout.dataIndex(1, 0), 5u);
+    EXPECT_EQ(layout.dataIndex(4, 4), 24u);
+}
+
+} // namespace
+} // namespace qec

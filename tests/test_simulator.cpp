@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for the batch Pauli-frame simulator against hand-computed
+ * physics on small circuits and full surface-code rounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "qec/sim/frame_simulator.hpp"
+#include "qec/surface/circuit_gen.hpp"
+#include "qec/surface/layout.hpp"
+
+namespace qec
+{
+namespace
+{
+
+TEST(FrameSimulator, NoiselessCircuitHasSilentDetectors)
+{
+    SurfaceCodeLayout layout(5);
+    const MemoryExperiment exp =
+        generateMemoryZ(layout, 5, NoiseParams::noiseless());
+    FrameSimulator sim(exp.circuit);
+    Rng rng(1);
+    BatchResult out;
+    for (int batch = 0; batch < 4; ++batch) {
+        sim.sampleBatch(rng, out);
+        for (uint64_t word : out.detectors) {
+            EXPECT_EQ(word, 0ull);
+        }
+        for (uint64_t word : out.observables) {
+            EXPECT_EQ(word, 0ull);
+        }
+    }
+}
+
+TEST(FrameSimulator, DeterministicXErrorFlipsAdjacentZStabilizers)
+{
+    // Put a guaranteed X error on one bulk data qubit before round 0:
+    // exactly its adjacent Z stabilizers must fire in the first
+    // detector layer and the final layer, and nothing else.
+    SurfaceCodeLayout layout(3);
+    NoiseParams noise; // All zero.
+    MemoryExperiment exp = generateMemoryZ(layout, 3, noise);
+
+    // Rebuild the circuit with an X error (p=1) on data qubit 4 (the
+    // bulk center qubit of d=3) injected right after initialization.
+    Circuit patched(exp.circuit.numQubits());
+    bool injected = false;
+    for (const Instruction &inst : exp.circuit.instructions()) {
+        switch (inst.type) {
+          case OpType::R:
+            patched.appendReset(inst.targets);
+            if (!injected) {
+                patched.appendXError({4}, 1.0);
+                injected = true;
+            }
+            break;
+          case OpType::H: patched.appendH(inst.targets); break;
+          case OpType::CX: patched.appendCx(inst.targets); break;
+          case OpType::M:
+            patched.appendMeasure(inst.targets, inst.arg);
+            break;
+          case OpType::Tick: patched.appendTick(); break;
+          case OpType::Detector:
+            patched.appendDetector(inst.targets);
+            break;
+          case OpType::Observable:
+            patched.appendObservable(inst.id, inst.targets);
+            break;
+          default:
+            FAIL() << "unexpected op in noiseless circuit";
+        }
+    }
+
+    // Which Z stabilizers contain data qubit 4?
+    std::vector<uint32_t> expected_z;
+    const auto &z_idx = layout.zStabilizers();
+    for (uint32_t zo = 0; zo < z_idx.size(); ++zo) {
+        const auto &support =
+            layout.stabilizers()[z_idx[zo]].support;
+        for (uint32_t q : support) {
+            if (q == 4) {
+                expected_z.push_back(zo);
+            }
+        }
+    }
+    ASSERT_EQ(expected_z.size(), 2u); // Bulk qubit.
+
+    FrameSimulator sim(patched);
+    Rng rng(2);
+    BatchResult out;
+    sim.sampleBatch(rng, out);
+
+    const uint32_t nz = static_cast<uint32_t>(z_idx.size());
+    for (uint32_t det = 0; det < patched.numDetectors(); ++det) {
+        const uint32_t layer = det / nz;
+        const uint32_t zo = det % nz;
+        const bool is_adjacent =
+            std::find(expected_z.begin(), expected_z.end(), zo) !=
+            expected_z.end();
+        // The error happens before round 0: layer 0 sees it; later
+        // difference layers see no change; the final data layer
+        // compares data parity to the last measurement and is quiet.
+        const bool expect_fire = is_adjacent && layer == 0;
+        EXPECT_EQ(out.detectors[det], expect_fire ? ~0ull : 0ull)
+            << "detector " << det;
+    }
+    // A single bulk X error is correctable: it flips the observable
+    // iff it sits on the logical-Z support.
+    const auto &lz = layout.logicalZSupport();
+    const bool on_logical =
+        std::find(lz.begin(), lz.end(), 4u) != lz.end();
+    EXPECT_EQ(out.observables[0], on_logical ? ~0ull : 0ull);
+}
+
+TEST(FrameSimulator, LogicalXChainFlipsObservableSilently)
+{
+    // Apply the full logical X operator: no detector fires but the
+    // observable flips — the definition of a logical error.
+    SurfaceCodeLayout layout(5);
+    MemoryExperiment exp =
+        generateMemoryZ(layout, 5, NoiseParams::noiseless());
+    Circuit patched(exp.circuit.numQubits());
+    bool injected = false;
+    for (const Instruction &inst : exp.circuit.instructions()) {
+        switch (inst.type) {
+          case OpType::R:
+            patched.appendReset(inst.targets);
+            if (!injected) {
+                patched.appendXError(layout.logicalXSupport(), 1.0);
+                injected = true;
+            }
+            break;
+          case OpType::H: patched.appendH(inst.targets); break;
+          case OpType::CX: patched.appendCx(inst.targets); break;
+          case OpType::M:
+            patched.appendMeasure(inst.targets, inst.arg);
+            break;
+          case OpType::Tick: patched.appendTick(); break;
+          case OpType::Detector:
+            patched.appendDetector(inst.targets);
+            break;
+          case OpType::Observable:
+            patched.appendObservable(inst.id, inst.targets);
+            break;
+          default: FAIL();
+        }
+    }
+    FrameSimulator sim(patched);
+    Rng rng(3);
+    BatchResult out;
+    sim.sampleBatch(rng, out);
+    for (uint64_t word : out.detectors) {
+        EXPECT_EQ(word, 0ull);
+    }
+    EXPECT_EQ(out.observables[0], ~0ull);
+}
+
+TEST(FrameSimulator, MeasurementErrorMakesTimelikePair)
+{
+    // A single measurement flip on a Z ancilla in round t fires the
+    // same stabilizer's detectors at layers t and t+1.
+    SurfaceCodeLayout layout(3);
+    MemoryExperiment exp =
+        generateMemoryZ(layout, 3, NoiseParams::noiseless());
+    FrameSimulator sim(exp.circuit);
+
+    // Find the measurement instruction of round 1 and inject a
+    // record flip on the first Z ancilla.
+    const auto &instructions = exp.circuit.instructions();
+    uint32_t m_count = 0;
+    uint32_t target_op = 0;
+    for (uint32_t i = 0; i < instructions.size(); ++i) {
+        if (instructions[i].type == OpType::M) {
+            if (m_count == 1) { // Round 1 ancilla block.
+                target_op = i;
+                break;
+            }
+            ++m_count;
+        }
+    }
+    ASSERT_GT(target_op, 0u);
+
+    std::vector<Injection> injections;
+    Injection inj;
+    inj.opIndex = target_op;
+    inj.targetOffset = 0; // First Z stabilizer's ancilla.
+    inj.recordFlip = true;
+    injections.push_back(inj);
+
+    BatchResult out;
+    sim.runInjections(injections, out);
+
+    const uint32_t nz =
+        static_cast<uint32_t>(layout.zStabilizers().size());
+    for (uint32_t det = 0; det < exp.circuit.numDetectors();
+         ++det) {
+        const uint32_t layer = det / nz;
+        const uint32_t zo = det % nz;
+        const bool expect = (zo == 0 && (layer == 1 || layer == 2));
+        EXPECT_EQ((out.detectors[det] & 1ull) != 0, expect)
+            << "detector " << det;
+    }
+    EXPECT_EQ(out.observables[0] & 1ull, 0ull);
+}
+
+TEST(FrameSimulator, SameSeedSameResults)
+{
+    SurfaceCodeLayout layout(3);
+    MemoryExperiment exp =
+        generateMemoryZ(layout, 3, NoiseParams::uniform(0.01));
+    FrameSimulator sim_a(exp.circuit), sim_b(exp.circuit);
+    Rng rng_a(77), rng_b(77);
+    BatchResult out_a, out_b;
+    for (int i = 0; i < 10; ++i) {
+        sim_a.sampleBatch(rng_a, out_a);
+        sim_b.sampleBatch(rng_b, out_b);
+        EXPECT_EQ(out_a.detectors, out_b.detectors);
+        EXPECT_EQ(out_a.observables, out_b.observables);
+    }
+}
+
+TEST(FrameSimulator, NoisyShotsFireDetectorsAtPlausibleRate)
+{
+    SurfaceCodeLayout layout(3);
+    MemoryExperiment exp =
+        generateMemoryZ(layout, 3, NoiseParams::uniform(0.01));
+    FrameSimulator sim(exp.circuit);
+    Rng rng(123);
+    BatchResult out;
+    uint64_t fires = 0, slots = 0;
+    for (int batch = 0; batch < 200; ++batch) {
+        sim.sampleBatch(rng, out);
+        for (uint64_t word : out.detectors) {
+            fires += std::popcount(word);
+            slots += 64;
+        }
+    }
+    const double rate = static_cast<double>(fires) / slots;
+    // Each detector aggregates tens of p=1e-2 fault locations; the
+    // empirical per-detector rate should be a few percent.
+    EXPECT_GT(rate, 0.005);
+    EXPECT_LT(rate, 0.25);
+}
+
+} // namespace
+} // namespace qec
