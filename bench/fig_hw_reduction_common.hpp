@@ -27,10 +27,6 @@ runHwReduction(int distance)
     };
     auto promatch = build("promatch_astrea");
     auto smith = build("smith_astrea");
-    auto *promatch_pipe =
-        dynamic_cast<qec::PredecodedDecoder *>(promatch.get());
-    auto *smith_pipe =
-        dynamic_cast<qec::PredecodedDecoder *>(smith.get());
 
     qec::ImportanceSampler sampler(ctx.dem(), 24);
     qec::Rng rng(0x9716);
@@ -50,15 +46,16 @@ runHwReduction(int distance)
                 above10_before += weight;
             }
 
-            promatch_pipe->decode(sample.defects);
-            const int hw_pm = promatch_pipe->lastTrace().hwAfter;
+            qec::DecodeTrace trace;
+            promatch->decode(sample.defects, &trace);
+            const int hw_pm = trace.hwAfter;
             after_promatch.add(hw_pm, weight);
             if (hw_pm > 10) {
                 above10_pm += weight;
             }
 
-            smith_pipe->decode(sample.defects);
-            const int hw_sm = smith_pipe->lastTrace().hwAfter;
+            smith->decode(sample.defects, &trace);
+            const int hw_sm = trace.hwAfter;
             after_smith.add(hw_sm, weight);
             if (hw_sm > 10) {
                 above10_smith += weight;

@@ -41,8 +41,6 @@ main()
         const auto &ctx = ExperimentContext::get(row.d, 1e-4);
         auto decoder = makeDecoder("promatch_astrea", ctx.graph(),
                                    ctx.paths());
-        auto *pipe =
-            dynamic_cast<PredecodedDecoder *>(decoder.get());
 
         ImportanceSampler sampler(ctx.dem(), 24);
         Rng rng(0x1a7e);
@@ -57,15 +55,15 @@ main()
                 if (sample.defects.size() <= 10) {
                     continue;
                 }
+                DecodeTrace trace;
                 const DecodeResult result =
-                    pipe->decode(sample.defects);
+                    decoder->decode(sample.defects, &trace);
                 // The pipeline aborts at the effective budget
                 // (960 ns), so observed latencies cap there.
                 const double cap =
                     LatencyConfig{}.effectiveBudgetNs();
                 predecode_ns.add(
-                    std::min(pipe->lastTrace().predecodeNs, cap),
-                    weight);
+                    std::min(trace.predecodeNs, cap), weight);
                 total_ns.add(std::min(result.latencyNs, cap),
                              weight);
             }

@@ -37,8 +37,6 @@ main()
         const auto &ctx = ExperimentContext::get(d, 1e-4);
         auto decoder = makeDecoder("promatch_astrea", ctx.graph(),
                                    ctx.paths());
-        auto *pipe =
-            dynamic_cast<PredecodedDecoder *>(decoder.get());
 
         ImportanceSampler sampler(ctx.dem(), 24);
         Rng rng(0x6ab1e + d);
@@ -52,9 +50,9 @@ main()
                 if (sample.defects.size() <= 10) {
                     continue;
                 }
-                pipe->decode(sample.defects);
-                weights[pipe->lastTrace().steps.deepest()] +=
-                    weight;
+                DecodeTrace trace;
+                decoder->decode(sample.defects, &trace);
+                weights[trace.steps.deepest()] += weight;
             }
         }
         double total = 0.0;

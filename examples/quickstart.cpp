@@ -1,10 +1,11 @@
 /**
  * @file
  * Quickstart: build a distance-5 surface code memory experiment,
- * decode sampled syndromes with Promatch + Astrea, and estimate the
- * logical error rate two ways.
+ * decode sampled syndromes with Promatch + Astrea (constructed from
+ * a decoder spec string; see docs/api.md), and estimate the logical
+ * error rate two ways.
  *
- * Run:  ./example_quickstart [distance] [p]
+ * Run:  ./example_quickstart [distance] [p] [spec]
  */
 
 #include <cstdio>
@@ -17,6 +18,8 @@ main(int argc, char **argv)
 {
     const int distance = argc > 1 ? std::atoi(argv[1]) : 5;
     const double p = argc > 2 ? std::atof(argv[2]) : 1e-3;
+    const char *spec_text =
+        argc > 3 ? argv[3] : "promatch+astrea";
 
     std::printf("Building distance-%d memory-Z experiment at "
                 "p = %g ...\n",
@@ -35,10 +38,18 @@ main(int argc, char **argv)
     qec::BatchResult batch;
     simulator.sampleBatch(rng, batch);
 
-    auto decoder = qec::makeDecoder("promatch_astrea", ctx.graph(),
-                                    ctx.paths());
-    std::printf("\nFirst 8 sampled shots through %s:\n",
-                decoder->name().c_str());
+    qec::DecoderSpec spec;
+    std::unique_ptr<qec::Decoder> decoder;
+    try {
+        spec = qec::DecoderSpec::parse(spec_text);
+        decoder = qec::build(spec, ctx.graph(), ctx.paths());
+    } catch (const qec::SpecError &error) {
+        std::fprintf(stderr, "bad decoder spec \"%s\": %s\n",
+                     spec_text, error.what());
+        return 1;
+    }
+    std::printf("\nFirst 8 sampled shots through %s (spec \"%s\"):\n",
+                decoder->name().c_str(), spec.toString().c_str());
     for (int lane = 0; lane < 8; ++lane) {
         const auto defects =
             batch.detectorBits(lane).onesIndices();

@@ -1,0 +1,161 @@
+#include "qec/api/decoder_spec.hpp"
+
+#include <cctype>
+
+namespace qec
+{
+
+namespace
+{
+
+bool
+isComponentChar(char c)
+{
+    return std::islower(static_cast<unsigned char>(c)) ||
+           std::isdigit(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void
+validateComponent(const std::string &name, const char *role)
+{
+    if (name.empty()) {
+        throw SpecError(std::string("empty ") + role +
+                        " component in decoder spec");
+    }
+    for (char c : name) {
+        if (!isComponentChar(c)) {
+            throw SpecError(std::string("illegal character '") + c +
+                            "' in " + role + " component '" + name +
+                            "'");
+        }
+    }
+}
+
+StackSpec
+parseStack(const std::string &text)
+{
+    StackSpec stack;
+    const size_t plus = text.find('+');
+    if (plus == std::string::npos) {
+        stack.main = text;
+    } else {
+        if (text.find('+', plus + 1) != std::string::npos) {
+            throw SpecError("more than one '+' in stack '" + text +
+                            "' (only predecoder+main is allowed)");
+        }
+        stack.predecoder = text.substr(0, plus);
+        stack.main = text.substr(plus + 1);
+        validateComponent(stack.predecoder, "predecoder");
+    }
+    validateComponent(stack.main, "main decoder");
+    return stack;
+}
+
+std::map<std::string, std::string>
+parseOptions(const std::string &text)
+{
+    std::map<std::string, std::string> options;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t amp = text.find('&', pos);
+        if (amp == std::string::npos) {
+            amp = text.size();
+        }
+        const std::string item = text.substr(pos, amp - pos);
+        if (item.empty()) {
+            throw SpecError("empty option in decoder spec ('" +
+                            text + "')");
+        }
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == item.size()) {
+            throw SpecError("option '" + item +
+                            "' is not of the form key=value");
+        }
+        const std::string key = item.substr(0, eq);
+        for (char c : key) {
+            if (!isComponentChar(c)) {
+                throw SpecError(
+                    std::string("illegal character '") + c +
+                    "' in option key '" + key + "'");
+            }
+        }
+        if (!options.emplace(key, item.substr(eq + 1)).second) {
+            throw SpecError("duplicate option key '" + key + "'");
+        }
+        pos = amp + 1;
+    }
+    return options;
+}
+
+} // namespace
+
+std::string
+StackSpec::toString() const
+{
+    return predecoder.empty() ? main : predecoder + "+" + main;
+}
+
+DecoderSpec
+DecoderSpec::parse(const std::string &text)
+{
+    if (text.empty()) {
+        throw SpecError("empty decoder spec");
+    }
+    DecoderSpec spec;
+    std::string stacks = text;
+    const size_t question = text.find('?');
+    if (question != std::string::npos) {
+        stacks = text.substr(0, question);
+        spec.options = parseOptions(text.substr(question + 1));
+    }
+    const size_t par = stacks.find("||");
+    if (par == std::string::npos) {
+        spec.primary = parseStack(stacks);
+    } else {
+        if (stacks.find("||", par + 2) != std::string::npos) {
+            throw SpecError("more than one '||' in decoder spec '" +
+                            stacks + "'");
+        }
+        if (par == 0 || par + 2 == stacks.size()) {
+            throw SpecError("'||' needs a stack on both sides in '" +
+                            stacks + "'");
+        }
+        spec.primary = parseStack(stacks.substr(0, par));
+        spec.partner = parseStack(stacks.substr(par + 2));
+    }
+    return spec;
+}
+
+std::string
+DecoderSpec::toString() const
+{
+    std::string out = primary.toString();
+    if (partner) {
+        out += "||" + partner->toString();
+    }
+    // std::map iteration is key-sorted: the printed form is
+    // canonical and stable regardless of the order options were
+    // written in the input.
+    char sep = '?';
+    for (const auto &[key, value] : options) {
+        out += sep;
+        out += key;
+        out += '=';
+        out += value;
+        sep = '&';
+    }
+    return out;
+}
+
+std::optional<std::string>
+DecoderSpec::option(const std::string &key) const
+{
+    const auto it = options.find(key);
+    if (it == options.end()) {
+        return std::nullopt;
+    }
+    return it->second;
+}
+
+} // namespace qec

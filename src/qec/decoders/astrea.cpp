@@ -1,5 +1,6 @@
 #include "qec/decoders/astrea.hpp"
 
+#include "qec/api/registry.hpp"
 #include "qec/matching/defect_graph.hpp"
 #include "qec/matching/exhaustive.hpp"
 
@@ -7,8 +8,13 @@ namespace qec
 {
 
 DecodeResult
-AstreaDecoder::decode(const std::vector<uint32_t> &defects)
+AstreaDecoder::decode(std::span<const uint32_t> defects,
+                      DecodeTrace *trace)
 {
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
     DecodeResult result;
     const int hw = static_cast<int>(defects.size());
     if (hw == 0) {
@@ -36,5 +42,12 @@ AstreaDecoder::decode(const std::vector<uint32_t> &defects)
     result.chainLengths = dg.chainLengths(paths_, solution);
     return result;
 }
+
+QEC_REGISTER_DECODER(
+    astrea, "Astrea exact brute-force matcher (HW <= hw_threshold)",
+    [](const BuildContext &context) {
+        return std::make_unique<AstreaDecoder>(
+            context.graph, context.paths, context.latency);
+    });
 
 } // namespace qec

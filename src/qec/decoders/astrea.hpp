@@ -28,7 +28,16 @@ class AstreaDecoder : public Decoder
     {
     }
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<AstreaDecoder>(graph_, paths_,
+                                               latency_);
+    }
+
     std::string name() const override { return "Astrea"; }
 
     const LatencyConfig &latencyConfig() const { return latency_; }

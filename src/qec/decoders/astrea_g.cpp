@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qec/api/registry.hpp"
 #include "qec/matching/defect_graph.hpp"
 #include "qec/util/assert.hpp"
 
@@ -185,11 +186,14 @@ class NearExhaustiveSearch
 } // namespace
 
 DecodeResult
-AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
+AstreaGDecoder::decode(std::span<const uint32_t> defects,
+                       DecodeTrace *trace)
 {
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
     DecodeResult result;
-    statesExplored = 0;
-    searchTruncated = false;
     const int hw = static_cast<int>(defects.size());
     if (hw == 0) {
         result.latencyNs =
@@ -216,8 +220,10 @@ AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
                                 latency_.astreaGSearchBudget,
                                 latency_.astreaGUseBound);
     const MatchingSolution solution = search.run();
-    statesExplored = search.statesExplored();
-    searchTruncated = search.truncated();
+    if (trace) {
+        trace->searchStates = search.statesExplored();
+        trace->searchTruncated = search.truncated();
+    }
     if (!solution.valid) {
         result.aborted = true;
         result.latencyNs = latency_.budgetNs;
@@ -226,12 +232,20 @@ AstreaGDecoder::decode(const std::vector<uint32_t> &defects)
     result.predictedObs = dg.solutionObs(paths_, solution);
     result.weight = solution.totalWeight;
     const long long cycles =
-        statesExplored / latency_.astreaParallelism +
+        search.statesExplored() / latency_.astreaParallelism +
         latency_.astreaFixedCycles;
     result.latencyNs = static_cast<double>(cycles) *
                        latency_.nsPerCycle;
     result.chainLengths = dg.chainLengths(paths_, solution);
     return result;
 }
+
+QEC_REGISTER_DECODER(
+    astrea_g,
+    "Astrea-G pruned, budgeted near-exhaustive matcher",
+    [](const BuildContext &context) {
+        return std::make_unique<AstreaGDecoder>(
+            context.graph, context.paths, context.latency);
+    });
 
 } // namespace qec

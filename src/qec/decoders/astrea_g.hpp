@@ -31,19 +31,25 @@ class AstreaGDecoder : public Decoder
     {
     }
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    /**
+     * Decode; search statistics (states expanded, budget
+     * truncation) land in DecodeTrace::searchStates /
+     * searchTruncated.
+     */
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<AstreaGDecoder>(graph_, paths_,
+                                                latency_);
+    }
+
     std::string name() const override { return "Astrea-G"; }
-
-    /** Search states expanded while decoding the last syndrome. */
-    long long lastStatesExplored() const { return statesExplored; }
-
-    /** True if the last decode ran out of search budget. */
-    bool lastSearchTruncated() const { return searchTruncated; }
 
   private:
     LatencyConfig latency_;
-    long long statesExplored = 0;
-    bool searchTruncated = false;
 };
 
 } // namespace qec

@@ -1,0 +1,48 @@
+#include "qec/decoders/decoder.hpp"
+
+#include <thread>
+
+namespace qec
+{
+
+std::vector<DecodeResult>
+Decoder::decodeBatch(const std::vector<std::vector<uint32_t>> &batch,
+                     std::vector<DecodeTrace> *traces, int threads)
+{
+    std::vector<DecodeResult> results(batch.size());
+    if (traces) {
+        traces->assign(batch.size(), DecodeTrace{});
+    }
+    if (threads <= 1 || batch.size() <= 1) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+            results[i] = decode(batch[i],
+                                traces ? &(*traces)[i] : nullptr);
+        }
+        return results;
+    }
+
+    const size_t workers = std::min<size_t>(
+        static_cast<size_t>(threads), batch.size());
+    // Contiguous static partition: deterministic assignment, and
+    // each worker decodes on its own clone so no state is shared.
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+        const size_t begin = batch.size() * w / workers;
+        const size_t end = batch.size() * (w + 1) / workers;
+        pool.emplace_back([this, &batch, &results, traces, begin,
+                           end]() {
+            const std::unique_ptr<Decoder> worker = clone();
+            for (size_t i = begin; i < end; ++i) {
+                results[i] = worker->decode(
+                    batch[i], traces ? &(*traces)[i] : nullptr);
+            }
+        });
+    }
+    for (std::thread &t : pool) {
+        t.join();
+    }
+    return results;
+}
+
+} // namespace qec

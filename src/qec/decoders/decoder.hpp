@@ -7,6 +7,19 @@
  * decoders also report a modeled hardware latency; exceeding the
  * budget marks the result aborted, which the harness counts as a
  * logical error (§6.4 of the paper).
+ *
+ * Thread-safety contract: `decode()` keeps no per-call state on the
+ * decoder — all per-decode introspection is written into the
+ * caller-owned DecodeTrace out-parameter. One decoder instance must
+ * not be shared between threads (implementations may keep scratch
+ * buffers), but `clone()` produces an independent, identically
+ * configured instance, and the default `decodeBatch()` uses clones
+ * to fan a batch of syndromes across worker threads with results
+ * identical to a serial run.
+ *
+ * Decoder stacks are described by a DecoderSpec and constructed
+ * through the component registry — see qec/api/decoder_spec.hpp and
+ * qec/api/registry.hpp, or docs/api.md for the spec grammar.
  */
 
 #ifndef QEC_DECODERS_DECODER_HPP
@@ -14,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +37,26 @@
 
 namespace qec
 {
+
+/** Which Promatch algorithm steps a syndrome exercised (Table 6). */
+struct StepUsage
+{
+    bool step1 = false; //!< Isolated pairs.
+    bool step2 = false; //!< Singleton-safe neighbor matches.
+    bool step3 = false; //!< Singleton rescue via shortest paths.
+    bool step4 = false; //!< Risky matches (may create singletons).
+
+    /** Deepest step reached: 0 (none) .. 4. */
+    int
+    deepest() const
+    {
+        if (step4) return 4;
+        if (step3) return 3;
+        if (step2) return 2;
+        if (step1) return 1;
+        return 0;
+    }
+};
 
 /** Outcome of decoding one syndrome. */
 struct DecodeResult
@@ -41,6 +75,58 @@ struct DecodeResult
     std::vector<int> chainLengths;
 };
 
+/**
+ * Caller-owned introspection of one decode.
+ *
+ * Pass a DecodeTrace* to decode() to collect it; pass nullptr to
+ * skip all trace bookkeeping on the hot path. Every decoder fills
+ * only the fields it understands and resets the rest, so a trace
+ * can be reused across calls. Composite decoders (pipeline,
+ * parallel) additionally record one child trace per sub-decoder.
+ */
+struct DecodeTrace
+{
+    // --- Pipeline stage (PredecodedDecoder).
+    bool predecoderEngaged = false;
+    int hwBefore = 0;       //!< Syndrome HW entering the stack.
+    int hwAfter = 0;        //!< Residual HW handed to the main decoder.
+    double predecodeNs = 0.0;
+    double mainNs = 0.0;
+    StepUsage steps;        //!< Promatch step usage (Table 6).
+    int predecodeRounds = 0;
+    // --- Parallel arbitration (ParallelDecoder).
+    int parallelWinner = -1; //!< 0 = first, 1 = second, -1 = n/a.
+    // --- Search decoders (Astrea-G).
+    long long searchStates = 0;
+    bool searchTruncated = false;
+    // --- Correction-extracting decoders (UnionFind).
+    std::vector<uint32_t> correctionEdges;
+    // --- Sub-decoder traces of composite stacks, in child order.
+    // Pipeline: children[0] is the main decoder's trace *when the
+    // main decoder ran* (empty if an NSM predecoder resolved the
+    // whole syndrome locally). Parallel: children[0]/[1] are the
+    // two sides.
+    std::vector<DecodeTrace> children;
+
+    /** Clear for reuse, keeping vector capacity across decodes. */
+    void
+    reset()
+    {
+        predecoderEngaged = false;
+        hwBefore = 0;
+        hwAfter = 0;
+        predecodeNs = 0.0;
+        mainNs = 0.0;
+        steps = {};
+        predecodeRounds = 0;
+        parallelWinner = -1;
+        searchStates = 0;
+        searchTruncated = false;
+        correctionEdges.clear();
+        children.clear();
+    }
+};
+
 /** Abstract decoder over a fixed decoding graph. */
 class Decoder
 {
@@ -51,9 +137,41 @@ class Decoder
     }
     virtual ~Decoder() = default;
 
-    /** Decode one syndrome given as sorted flipped-detector indices. */
-    virtual DecodeResult decode(
-        const std::vector<uint32_t> &defects) = 0;
+    /**
+     * Decode one syndrome given as sorted flipped-detector indices.
+     *
+     * @param defects  sorted flipped-detector indices
+     * @param trace    optional caller-owned introspection sink; the
+     *                 decoder resets and fills it. nullptr skips all
+     *                 trace bookkeeping.
+     */
+    virtual DecodeResult decode(std::span<const uint32_t> defects,
+                                DecodeTrace *trace = nullptr) = 0;
+
+    /**
+     * Independent copy with identical configuration, bound to the
+     * same graph/path tables. Clones share no mutable state with the
+     * original, so each thread of a batched harness can decode on
+     * its own clone.
+     */
+    virtual std::unique_ptr<Decoder> clone() const = 0;
+
+    /**
+     * Decode a batch of syndromes, optionally across threads.
+     *
+     * The default implementation decodes in order on this instance
+     * when threads <= 1, and otherwise fans contiguous slices of the
+     * batch across `threads` worker threads, each working on its own
+     * clone(). Results and traces land at the same indices as their
+     * syndromes and are bit-identical to a serial run.
+     *
+     * @param batch    syndromes (each sorted)
+     * @param traces   optional per-syndrome traces, resized to match
+     * @param threads  worker thread count; <= 1 decodes serially
+     */
+    virtual std::vector<DecodeResult> decodeBatch(
+        const std::vector<std::vector<uint32_t>> &batch,
+        std::vector<DecodeTrace> *traces = nullptr, int threads = 1);
 
     /** Short identifier used in reports (e.g. "Promatch||AG"). */
     virtual std::string name() const = 0;

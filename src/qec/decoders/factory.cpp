@@ -1,14 +1,8 @@
 #include "qec/decoders/factory.hpp"
 
-#include "qec/decoders/astrea.hpp"
-#include "qec/decoders/astrea_g.hpp"
-#include "qec/decoders/mwpm_decoder.hpp"
-#include "qec/decoders/parallel.hpp"
-#include "qec/decoders/pipeline.hpp"
-#include "qec/decoders/union_find.hpp"
-#include "qec/predecode/clique.hpp"
-#include "qec/predecode/hierarchical.hpp"
-#include "qec/predecode/smith.hpp"
+#include <array>
+#include <utility>
+
 #include "qec/util/assert.hpp"
 
 namespace qec
@@ -17,109 +11,61 @@ namespace qec
 namespace
 {
 
-std::unique_ptr<Decoder>
-makePipeline(std::unique_ptr<Predecoder> pre,
-             std::unique_ptr<Decoder> main,
-             const DecodingGraph &graph, const PathTable &paths,
-             const LatencyConfig &latency)
-{
-    return std::make_unique<PredecodedDecoder>(
-        graph, paths, std::move(pre), std::move(main), latency);
-}
+/** Historical evaluation names -> canonical spec strings. */
+constexpr std::array<std::pair<const char *, const char *>, 12>
+    kLegacyNames{{
+        {"mwpm", "mwpm"},
+        {"astrea", "astrea"},
+        {"astrea_g", "astrea_g"},
+        {"union_find", "union_find"},
+        {"promatch_astrea", "promatch+astrea"},
+        {"smith_astrea", "smith+astrea"},
+        {"clique_astrea", "clique+astrea"},
+        {"hierarchical_astrea", "hierarchical+astrea"},
+        {"clique_mwpm", "clique+mwpm"},
+        {"clique_ag", "clique+astrea_g"},
+        {"promatch_par_ag", "promatch+astrea||astrea_g"},
+        {"smith_par_ag", "smith+astrea||astrea_g"},
+    }};
 
 } // namespace
+
+std::string
+specForName(const std::string &name)
+{
+    for (const auto &[legacy, spec] : kLegacyNames) {
+        if (name == legacy) {
+            return spec;
+        }
+    }
+    return name;
+}
 
 std::unique_ptr<Decoder>
 makeDecoder(const std::string &name, const DecodingGraph &graph,
             const PathTable &paths, const LatencyConfig &latency,
             const PromatchConfig &promatch)
 {
-    if (name == "mwpm") {
-        return std::make_unique<MwpmDecoder>(graph, paths);
+    try {
+        return build(DecoderSpec::parse(specForName(name)), graph,
+                     paths, latency, promatch);
+    } catch (const SpecError &error) {
+        const std::string message =
+            "unknown decoder configuration '" + name +
+            "': " + error.what();
+        QEC_FATAL(message.c_str());
     }
-    if (name == "astrea") {
-        return std::make_unique<AstreaDecoder>(graph, paths,
-                                               latency);
-    }
-    if (name == "astrea_g") {
-        return std::make_unique<AstreaGDecoder>(graph, paths,
-                                                latency);
-    }
-    if (name == "union_find") {
-        return std::make_unique<UnionFindDecoder>(graph, paths);
-    }
-    if (name == "promatch_astrea") {
-        return makePipeline(
-            std::make_unique<PromatchPredecoder>(
-                graph, paths, latency, promatch),
-            std::make_unique<AstreaDecoder>(graph, paths, latency),
-            graph, paths, latency);
-    }
-    if (name == "smith_astrea") {
-        return makePipeline(
-            std::make_unique<SmithPredecoder>(graph, paths),
-            std::make_unique<AstreaDecoder>(graph, paths, latency),
-            graph, paths, latency);
-    }
-    if (name == "clique_astrea") {
-        return makePipeline(
-            std::make_unique<CliquePredecoder>(graph, paths),
-            std::make_unique<AstreaDecoder>(graph, paths, latency),
-            graph, paths, latency);
-    }
-    if (name == "hierarchical_astrea") {
-        return makePipeline(
-            std::make_unique<HierarchicalPredecoder>(graph, paths),
-            std::make_unique<AstreaDecoder>(graph, paths, latency),
-            graph, paths, latency);
-    }
-    if (name == "clique_mwpm") {
-        // Clique in front of software MWPM (Fig. 4's Clique+MWPM):
-        // accuracy of MWPM, but the main decoder is not real-time.
-        return makePipeline(
-            std::make_unique<CliquePredecoder>(graph, paths),
-            std::make_unique<MwpmDecoder>(graph, paths), graph,
-            paths, latency);
-    }
-    if (name == "clique_ag") {
-        return makePipeline(
-            std::make_unique<CliquePredecoder>(graph, paths),
-            std::make_unique<AstreaGDecoder>(graph, paths, latency),
-            graph, paths, latency);
-    }
-    if (name == "promatch_par_ag") {
-        return std::make_unique<ParallelDecoder>(
-            graph, paths,
-            makeDecoder("promatch_astrea", graph, paths, latency,
-                        promatch),
-            makeDecoder("astrea_g", graph, paths, latency),
-            latency);
-    }
-    if (name == "smith_par_ag") {
-        return std::make_unique<ParallelDecoder>(
-            graph, paths,
-            makeDecoder("smith_astrea", graph, paths, latency),
-            makeDecoder("astrea_g", graph, paths, latency),
-            latency);
-    }
-    QEC_FATAL("unknown decoder configuration name");
 }
 
 std::vector<std::string>
 decoderNames()
 {
-    return {"mwpm",
-            "astrea",
-            "astrea_g",
-            "union_find",
-            "promatch_astrea",
-            "smith_astrea",
-            "clique_astrea",
-            "hierarchical_astrea",
-            "clique_mwpm",
-            "clique_ag",
-            "promatch_par_ag",
-            "smith_par_ag"};
+    std::vector<std::string> names;
+    names.reserve(kLegacyNames.size());
+    for (const auto &[legacy, spec] : kLegacyNames) {
+        names.push_back(legacy);
+    }
+    return names;
 }
 
 } // namespace qec

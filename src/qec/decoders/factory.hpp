@@ -1,21 +1,33 @@
 /**
  * @file
- * Decoder-stack factory.
+ * Legacy decoder-stack factory — a thin alias over the DecoderSpec
+ * registry API (qec/api/decoder_spec.hpp, qec/api/registry.hpp).
  *
- * Builds every decoder configuration evaluated in the paper by name,
- * so the benches and examples share one construction path:
+ * New code should parse and build specs directly:
  *
- *   "mwpm"               idealized software MWPM
- *   "astrea"             Astrea alone (exact, HW <= 10)
- *   "astrea_g"           Astrea-G alone
- *   "union_find"         union-find / AFS-class decoder
- *   "promatch_astrea"    Promatch + Astrea (the paper's "Promatch")
- *   "smith_astrea"       Smith et al. + Astrea
- *   "clique_astrea"      Clique + Astrea (NSM)
+ *   auto decoder = qec::build(
+ *       qec::DecoderSpec::parse("promatch+astrea||astrea_g"),
+ *       graph, paths);
+ *
+ * makeDecoder() is kept so existing call sites work unchanged: it
+ * accepts both the historical configuration names of the paper's
+ * evaluation (below) and any spec string, and exits fatally on
+ * unusable input (the spec API throws SpecError instead).
+ *
+ *   "mwpm"                idealized software MWPM
+ *   "astrea"              Astrea alone (exact, HW <= 10)
+ *   "astrea_g"            Astrea-G alone
+ *   "union_find"          union-find / AFS-class decoder
+ *   "promatch_astrea"     Promatch + Astrea (the paper's "Promatch")
+ *   "smith_astrea"        Smith et al. + Astrea
+ *   "clique_astrea"       Clique + Astrea (NSM)
  *   "hierarchical_astrea" Hierarchical + Astrea (NSM)
- *   "clique_ag"          Clique + Astrea-G (NSM)
- *   "promatch_par_ag"    (Promatch + Astrea) || Astrea-G
- *   "smith_par_ag"       (Smith + Astrea) || Astrea-G
+ *   "clique_mwpm"         Clique + software MWPM
+ *   "clique_ag"           Clique + Astrea-G (NSM)
+ *   "promatch_par_ag"     (Promatch + Astrea) || Astrea-G
+ *   "smith_par_ag"        (Smith + Astrea) || Astrea-G
+ *
+ * The old-name -> spec-string migration table lives in docs/api.md.
  */
 
 #ifndef QEC_DECODERS_FACTORY_HPP
@@ -23,7 +35,10 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "qec/api/decoder_spec.hpp"
+#include "qec/api/registry.hpp"
 #include "qec/decoders/decoder.hpp"
 #include "qec/decoders/latency.hpp"
 #include "qec/predecode/promatch.hpp"
@@ -31,13 +46,25 @@
 namespace qec
 {
 
-/** Create a decoder stack by configuration name; fatal on unknown. */
+/**
+ * Create a decoder stack by legacy configuration name or spec
+ * string; fatal on unknown names / malformed specs. Equivalent to
+ * build(DecoderSpec::parse(specForName(name)), ...).
+ */
 std::unique_ptr<Decoder> makeDecoder(
     const std::string &name, const DecodingGraph &graph,
     const PathTable &paths, const LatencyConfig &latency = {},
     const PromatchConfig &promatch = {});
 
-/** All configuration names accepted by makeDecoder. */
+/**
+ * Spec string for a legacy configuration name (e.g.
+ * "promatch_par_ag" -> "promatch+astrea||astrea_g"). Inputs that
+ * are not legacy names pass through unchanged, so the result is
+ * always directly parseable by DecoderSpec::parse.
+ */
+std::string specForName(const std::string &name);
+
+/** The paper's configuration names accepted by makeDecoder. */
 std::vector<std::string> decoderNames();
 
 } // namespace qec

@@ -1,5 +1,6 @@
 #include "qec/decoders/mwpm_decoder.hpp"
 
+#include "qec/api/registry.hpp"
 #include "qec/matching/blossom.hpp"
 #include "qec/matching/defect_graph.hpp"
 
@@ -7,8 +8,13 @@ namespace qec
 {
 
 DecodeResult
-MwpmDecoder::decode(const std::vector<uint32_t> &defects)
+MwpmDecoder::decode(std::span<const uint32_t> defects,
+                    DecodeTrace *trace)
 {
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
     DecodeResult result;
     result.realTime = false;
     if (defects.empty()) {
@@ -25,5 +31,12 @@ MwpmDecoder::decode(const std::vector<uint32_t> &defects)
     result.chainLengths = dg.chainLengths(paths_, solution);
     return result;
 }
+
+QEC_REGISTER_DECODER(
+    mwpm, "idealized software MWPM (exact, not real-time)",
+    [](const BuildContext &context) {
+        return std::make_unique<MwpmDecoder>(context.graph,
+                                             context.paths);
+    });
 
 } // namespace qec

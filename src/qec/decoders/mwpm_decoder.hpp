@@ -21,7 +21,15 @@ class MwpmDecoder : public Decoder
   public:
     using Decoder::Decoder;
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<MwpmDecoder>(graph_, paths_);
+    }
+
     std::string name() const override { return "MWPM"; }
 };
 

@@ -6,10 +6,17 @@ namespace qec
 {
 
 DecodeResult
-ParallelDecoder::decode(const std::vector<uint32_t> &defects)
+ParallelDecoder::decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace)
 {
-    DecodeResult ra = a->decode(defects);
-    DecodeResult rb = b->decode(defects);
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
+    DecodeResult ra = a->decode(
+        defects, trace ? &trace->children.emplace_back() : nullptr);
+    DecodeResult rb = b->decode(
+        defects, trace ? &trace->children.emplace_back() : nullptr);
 
     const double compare_ns =
         latency_.compareCycles * latency_.nsPerCycle;
@@ -23,6 +30,7 @@ ParallelDecoder::decode(const std::vector<uint32_t> &defects)
         compare_ns;
 
     DecodeResult result;
+    int winner;
     if (ra.aborted && rb.aborted) {
         result.aborted = true;
         result.latencyNs = latency_.budgetNs;
@@ -40,6 +48,9 @@ ParallelDecoder::decode(const std::vector<uint32_t> &defects)
     } else {
         winner = 1;
         result = std::move(rb);
+    }
+    if (trace) {
+        trace->parallelWinner = winner;
     }
     result.latencyNs = latency;
     if (latency > latency_.budgetNs) {

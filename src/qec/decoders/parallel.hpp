@@ -8,6 +8,9 @@
  * the lower total weight (higher probability). If one side aborts,
  * the other side's answer is used; if both abort, the combination
  * aborts.
+ *
+ * The arbitration outcome lands in DecodeTrace::parallelWinner, and
+ * each side's own trace in trace->children[0] / [1].
  */
 
 #ifndef QEC_DECODERS_PARALLEL_HPP
@@ -35,7 +38,15 @@ class ParallelDecoder : public Decoder
     {
     }
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<ParallelDecoder>(
+            graph_, paths_, a->clone(), b->clone(), latency_);
+    }
 
     std::string
     name() const override
@@ -46,14 +57,10 @@ class ParallelDecoder : public Decoder
     Decoder &first() { return *a; }
     Decoder &second() { return *b; }
 
-    /** Which side won the last arbitration (0 = first, 1 = second). */
-    int lastWinner() const { return winner; }
-
   private:
     std::unique_ptr<Decoder> a;
     std::unique_ptr<Decoder> b;
     LatencyConfig latency_;
-    int winner = 0;
 };
 
 } // namespace qec

@@ -4,39 +4,48 @@ namespace qec
 {
 
 DecodeResult
-PredecodedDecoder::decode(const std::vector<uint32_t> &defects)
+PredecodedDecoder::decode(std::span<const uint32_t> defects,
+                          DecodeTrace *trace)
 {
-    trace = {};
-    trace.hwBefore = static_cast<int>(defects.size());
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
 
     // Low-HW syndromes skip the predecoder entirely (§3).
     if (static_cast<int>(defects.size()) <= latency_.astreaMaxHw) {
-        DecodeResult result = main_->decode(defects);
-        trace.hwAfter = trace.hwBefore;
-        trace.mainNs = result.latencyNs;
+        DecodeResult result = main_->decode(
+            defects,
+            trace ? &trace->children.emplace_back() : nullptr);
+        if (trace) {
+            trace->hwAfter = trace->hwBefore;
+            trace->mainNs = result.latencyNs;
+        }
         if (result.latencyNs > latency_.effectiveBudgetNs()) {
             result.aborted = true;
         }
         return result;
     }
 
-    trace.predecoderEngaged = true;
     const long long budget_cycles = static_cast<long long>(
         latency_.effectiveBudgetNs() / latency_.nsPerCycle);
     PredecodeResult pre_result =
         pre->predecode(defects, budget_cycles);
-    trace.steps = pre_result.steps;
-    trace.predecodeRounds = pre_result.rounds;
-    trace.predecodeNs =
+    const double predecode_ns =
         static_cast<double>(pre_result.cycles) * latency_.nsPerCycle;
+    if (trace) {
+        trace->predecoderEngaged = true;
+        trace->steps = pre_result.steps;
+        trace->predecodeRounds = pre_result.rounds;
+        trace->predecodeNs = predecode_ns;
+    }
 
     DecodeResult result;
     if (pre_result.decodedAll) {
         // NSM predecoder finished the whole syndrome locally.
-        trace.hwAfter = 0;
         result.predictedObs = pre_result.obsMask;
         result.weight = pre_result.weight;
-        result.latencyNs = trace.predecodeNs;
+        result.latencyNs = predecode_ns;
         if (result.latencyNs > latency_.effectiveBudgetNs()) {
             result.aborted = true;
         }
@@ -44,10 +53,15 @@ PredecodedDecoder::decode(const std::vector<uint32_t> &defects)
     }
 
     const std::vector<uint32_t> &handoff = pre_result.residual;
-    trace.hwAfter = static_cast<int>(handoff.size());
+    if (trace) {
+        trace->hwAfter = static_cast<int>(handoff.size());
+    }
 
-    DecodeResult main_result = main_->decode(handoff);
-    trace.mainNs = main_result.latencyNs;
+    DecodeResult main_result = main_->decode(
+        handoff, trace ? &trace->children.emplace_back() : nullptr);
+    if (trace) {
+        trace->mainNs = main_result.latencyNs;
+    }
 
     result.predictedObs =
         pre_result.obsMask ^ main_result.predictedObs;
@@ -57,9 +71,9 @@ PredecodedDecoder::decode(const std::vector<uint32_t> &defects)
         // unmodified syndrome, so the stages overlap rather than
         // serialize (Fig. 3(a)).
         result.latencyNs =
-            std::max(trace.predecodeNs, main_result.latencyNs);
+            std::max(predecode_ns, main_result.latencyNs);
     } else {
-        result.latencyNs = trace.predecodeNs + main_result.latencyNs;
+        result.latencyNs = predecode_ns + main_result.latencyNs;
     }
     result.aborted = main_result.aborted ||
                      result.latencyNs > latency_.effectiveBudgetNs();

@@ -8,6 +8,11 @@
  * predecoders hand over the residual, NSM ones either finish locally
  * or forward everything. The combined latency is checked against the
  * real-time budget; overruns abort (= logical error, §6.4).
+ *
+ * Per-decode introspection (HW reduction, stage latencies, Promatch
+ * step usage) goes into the caller's DecodeTrace; when the main
+ * decoder runs, its own trace lands in trace->children[0] (children
+ * stays empty if an NSM predecoder resolves the syndrome locally).
  */
 
 #ifndef QEC_DECODERS_PIPELINE_HPP
@@ -21,18 +26,6 @@
 
 namespace qec
 {
-
-/** Statistics of the last pipeline decode (for the benches). */
-struct PipelineTrace
-{
-    bool predecoderEngaged = false;
-    int hwBefore = 0;
-    int hwAfter = 0;
-    double predecodeNs = 0.0;
-    double mainNs = 0.0;
-    StepUsage steps;
-    int predecodeRounds = 0;
-};
 
 /** Predecoder followed by a main decoder. */
 class PredecodedDecoder : public Decoder
@@ -48,7 +41,15 @@ class PredecodedDecoder : public Decoder
     {
     }
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
+    {
+        return std::make_unique<PredecodedDecoder>(
+            graph_, paths_, pre->clone(), main_->clone(), latency_);
+    }
 
     std::string
     name() const override
@@ -56,17 +57,14 @@ class PredecodedDecoder : public Decoder
         return pre->name() + "+" + main_->name();
     }
 
-    /** Introspection for HW-reduction and latency benches. */
-    const PipelineTrace &lastTrace() const { return trace; }
-
     Predecoder &predecoder() { return *pre; }
     Decoder &mainDecoder() { return *main_; }
+    const LatencyConfig &latencyConfig() const { return latency_; }
 
   private:
     std::unique_ptr<Predecoder> pre;
     std::unique_ptr<Decoder> main_;
     LatencyConfig latency_;
-    PipelineTrace trace;
 };
 
 } // namespace qec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "qec/api/registry.hpp"
 #include "qec/util/assert.hpp"
 
 namespace qec
@@ -75,9 +76,15 @@ class ClusterSets
 } // namespace
 
 DecodeResult
-UnionFindDecoder::decode(const std::vector<uint32_t> &defects)
+UnionFindDecoder::decode(std::span<const uint32_t> defects,
+                         DecodeTrace *trace)
 {
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
     DecodeResult result;
+    std::vector<uint32_t> &correction = correction_;
     correction.clear();
     if (defects.empty()) {
         return result;
@@ -250,7 +257,19 @@ UnionFindDecoder::decode(const std::vector<uint32_t> &defects)
     // Union-find is fast in hardware; model a token latency that is
     // always within budget (AFS reports sub-500ns for these sizes).
     result.latencyNs = 420.0;
+    if (trace) {
+        // Copy (not move) so the scratch keeps its capacity.
+        trace->correctionEdges = correction;
+    }
     return result;
 }
+
+QEC_REGISTER_DECODER(
+    union_find,
+    "Delfosse-Nickerson cluster-growth union-find decoder",
+    [](const BuildContext &context) {
+        return std::make_unique<UnionFindDecoder>(context.graph,
+                                                  context.paths);
+    });
 
 } // namespace qec

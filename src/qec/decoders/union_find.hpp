@@ -25,20 +25,24 @@ class UnionFindDecoder : public Decoder
   public:
     using Decoder::Decoder;
 
-    DecodeResult decode(const std::vector<uint32_t> &defects) override;
-    std::string name() const override { return "UnionFind"; }
-
     /**
-     * The set of correction-edge ids chosen for the last syndrome
-     * (for validity checks in tests).
+     * Decode; the chosen correction-edge ids land in
+     * DecodeTrace::correctionEdges (for validity checks in tests).
      */
-    const std::vector<uint32_t> &lastCorrection() const
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr) override;
+
+    std::unique_ptr<Decoder>
+    clone() const override
     {
-        return correction;
+        return std::make_unique<UnionFindDecoder>(graph_, paths_);
     }
 
+    std::string name() const override { return "UnionFind"; }
+
   private:
-    std::vector<uint32_t> correction;
+    /** Scratch reused across decodes (capacity only, no state). */
+    std::vector<uint32_t> correction_;
 };
 
 } // namespace qec

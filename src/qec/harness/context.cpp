@@ -1,6 +1,8 @@
 #include "qec/harness/context.hpp"
 
 #include <map>
+#include <mutex>
+#include <tuple>
 
 #include "qec/sim/error_enumerator.hpp"
 
@@ -22,16 +24,22 @@ ExperimentContext::ExperimentContext(int distance, double p,
 }
 
 const ExperimentContext &
-ExperimentContext::get(int distance, double p)
+ExperimentContext::get(int distance, double p, int rounds)
 {
-    static std::map<std::pair<int, double>,
+    static std::mutex mutex;
+    static std::map<std::tuple<int, double, int>,
                     std::unique_ptr<ExperimentContext>>
         cache;
-    const auto key = std::make_pair(distance, p);
+    // Normalize the default so get(d, p) and get(d, p, d) share an
+    // entry.
+    const int effective_rounds = rounds < 0 ? distance : rounds;
+    const auto key =
+        std::make_tuple(distance, p, effective_rounds);
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(key);
     if (it == cache.end()) {
         it = cache.emplace(key, std::make_unique<ExperimentContext>(
-                                    distance, p))
+                                    distance, p, effective_rounds))
                  .first;
     }
     return *it->second;

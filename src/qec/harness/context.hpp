@@ -35,8 +35,14 @@ class ExperimentContext
      */
     ExperimentContext(int distance, double p, int rounds = -1);
 
-    /** Process-wide cache keyed by (distance, p). */
-    static const ExperimentContext &get(int distance, double p);
+    /**
+     * Process-wide cache keyed by (distance, p, rounds); -1 rounds
+     * means the paper's d-round setting. Thread-safe: concurrent
+     * callers serialize on an internal mutex, so a threaded harness
+     * can share cached contexts freely.
+     */
+    static const ExperimentContext &get(int distance, double p,
+                                        int rounds = -1);
 
     int distance() const { return distance_; }
     double physicalErrorRate() const { return p_; }

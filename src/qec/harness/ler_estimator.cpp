@@ -27,19 +27,30 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
         const double weight =
             stats.occurrence /
             static_cast<double>(options.samplesPerK);
+        // Draw the whole k-batch serially (deterministic RNG
+        // stream), then fan the decodes across threads. Identical
+        // samples and results regardless of options.threads.
+        std::vector<std::vector<uint32_t>> batch;
+        batch.reserve(options.samplesPerK);
+        std::vector<uint64_t> obs_masks;
+        obs_masks.reserve(options.samplesPerK);
         for (uint64_t s = 0; s < options.samplesPerK; ++s) {
-            const ImportanceSampler::Sample sample =
+            ImportanceSampler::Sample sample =
                 sampler.sample(k, rng);
-            const DecodeResult result =
-                decoder.decode(sample.defects);
+            obs_masks.push_back(sample.obsMask);
+            batch.push_back(std::move(sample.defects));
+        }
+        const std::vector<DecodeResult> results =
+            decoder.decodeBatch(batch, nullptr, options.threads);
+        for (uint64_t s = 0; s < options.samplesPerK; ++s) {
+            const DecodeResult &result = results[s];
             const bool failed =
                 result.aborted ||
-                result.predictedObs != sample.obsMask;
+                result.predictedObs != obs_masks[s];
             ++stats.samples;
             stats.failures += failed ? 1 : 0;
             if (observer) {
-                observer({k, weight, sample.defects, result,
-                          failed});
+                observer({k, weight, batch[s], result, failed});
             }
         }
         stats.failureProb =

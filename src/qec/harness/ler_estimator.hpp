@@ -34,6 +34,15 @@ struct LerOptions
      * than (d+1)/2 faults cannot make a logical). 0 = decode all.
      */
     int skipBelowK = 0;
+    /**
+     * Decode worker threads per k-batch. Sampling stays serial (the
+     * RNG stream, and therefore every syndrome, is identical for
+     * any thread count); the decodes fan out over decoder clones
+     * via Decoder::decodeBatch, and the observer runs serially in
+     * sample order afterwards — results are bit-identical to a
+     * single-threaded run.
+     */
+    int threads = 1;
 };
 
 /** Per-k statistics from the estimator. */

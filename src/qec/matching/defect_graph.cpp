@@ -8,11 +8,11 @@ namespace qec
 {
 
 DefectGraph
-buildDefectGraph(const std::vector<uint32_t> &defects,
+buildDefectGraph(std::span<const uint32_t> defects,
                  const PathTable &paths)
 {
     DefectGraph graph;
-    graph.defects = defects;
+    graph.defects.assign(defects.begin(), defects.end());
     const int n = static_cast<int>(defects.size());
     graph.problem.n = n;
     graph.problem.pairWeight.assign(

@@ -13,6 +13,7 @@
 #define QEC_MATCHING_DEFECT_GRAPH_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "qec/graph/path_table.hpp"
@@ -39,7 +40,7 @@ struct DefectGraph
 };
 
 /** Build the complete defect graph of a syndrome. */
-DefectGraph buildDefectGraph(const std::vector<uint32_t> &defects,
+DefectGraph buildDefectGraph(std::span<const uint32_t> defects,
                              const PathTable &paths);
 
 } // namespace qec

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qec/api/registry.hpp"
+
 namespace qec
 {
 
 PredecodeResult
-CliquePredecoder::predecode(const std::vector<uint32_t> &defects,
+CliquePredecoder::predecode(std::span<const uint32_t> defects,
                             long long cycle_budget)
 {
     (void)cycle_budget;
@@ -79,9 +81,17 @@ CliquePredecoder::predecode(const std::vector<uint32_t> &defects,
         result.weight = weight;
     } else {
         result.forwarded = true;
-        result.residual = defects;
+        result.residual.assign(defects.begin(), defects.end());
     }
     return result;
 }
+
+QEC_REGISTER_PREDECODER(
+    clique,
+    "Clique all-or-nothing simple-pattern predecoder (NSM)",
+    [](const BuildContext &context) {
+        return std::make_unique<CliquePredecoder>(context.graph,
+                                                  context.paths);
+    });
 
 } // namespace qec

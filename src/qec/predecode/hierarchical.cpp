@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "qec/api/registry.hpp"
+
 namespace qec
 {
 
 PredecodeResult
-HierarchicalPredecoder::predecode(
-    const std::vector<uint32_t> &defects, long long cycle_budget)
+HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
+                                  long long cycle_budget)
 {
     (void)cycle_budget;
     PredecodeResult result;
@@ -77,9 +79,17 @@ HierarchicalPredecoder::predecode(
         result.weight = weight;
     } else {
         result.forwarded = true;
-        result.residual = defects;
+        result.residual.assign(defects.begin(), defects.end());
     }
     return result;
 }
+
+QEC_REGISTER_PREDECODER(
+    hierarchical,
+    "Delfosse hierarchical weight-1 local predecoder (NSM)",
+    [](const BuildContext &context) {
+        return std::make_unique<HierarchicalPredecoder>(
+            context.graph, context.paths);
+    });
 
 } // namespace qec

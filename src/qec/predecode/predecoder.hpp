@@ -7,40 +7,29 @@
  * hand the (smaller) residual to the main decoder; Non-Syndrome-
  * Modified (NSM) predecoders either decode everything themselves or
  * forward the syndrome untouched.
+ *
+ * Like decoders, predecoders keep no per-call state (everything the
+ * caller needs comes back in the PredecodeResult) and are cloneable
+ * so composed stacks can be replicated across threads. New
+ * predecoders self-register with the component registry in their own
+ * translation unit (see qec/api/registry.hpp).
  */
 
 #ifndef QEC_PREDECODE_PREDECODER_HPP
 #define QEC_PREDECODE_PREDECODER_HPP
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "qec/decoders/decoder.hpp"
 #include "qec/graph/decoding_graph.hpp"
 #include "qec/graph/path_table.hpp"
 
 namespace qec
 {
-
-/** Which Promatch algorithm steps a syndrome exercised (Table 6). */
-struct StepUsage
-{
-    bool step1 = false; //!< Isolated pairs.
-    bool step2 = false; //!< Singleton-safe neighbor matches.
-    bool step3 = false; //!< Singleton rescue via shortest paths.
-    bool step4 = false; //!< Risky matches (may create singletons).
-
-    /** Deepest step reached: 0 (none) .. 4. */
-    int
-    deepest() const
-    {
-        if (step4) return 4;
-        if (step3) return 3;
-        if (step2) return 2;
-        if (step1) return 1;
-        return 0;
-    }
-};
 
 /** Outcome of predecoding one syndrome. */
 struct PredecodeResult
@@ -82,8 +71,11 @@ class Predecoder
      *                      predecoders use this; NSM ones ignore it)
      */
     virtual PredecodeResult predecode(
-        const std::vector<uint32_t> &defects,
+        std::span<const uint32_t> defects,
         long long cycle_budget) = 0;
+
+    /** Independent copy with identical configuration. */
+    virtual std::unique_ptr<Predecoder> clone() const = 0;
 
     virtual std::string name() const = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qec/api/registry.hpp"
 #include "qec/matching/matching_problem.hpp"
 #include "qec/util/assert.hpp"
 
@@ -25,8 +26,9 @@ struct Subgraph
     int aliveCount = 0;
 
     Subgraph(const DecodingGraph &g,
-             const std::vector<uint32_t> &defects)
-        : graph(g), dets(defects), alive(defects.size(), true),
+             std::span<const uint32_t> defects)
+        : graph(g), dets(defects.begin(), defects.end()),
+          alive(defects.size(), true),
           adj(defects.size()), deg(defects.size(), 0),
           dependent(defects.size(), 0),
           aliveCount(static_cast<int>(defects.size()))
@@ -181,7 +183,7 @@ struct Subgraph
 } // namespace
 
 PredecodeResult
-PromatchPredecoder::predecode(const std::vector<uint32_t> &defects,
+PromatchPredecoder::predecode(std::span<const uint32_t> defects,
                               long long cycle_budget)
 {
     PredecodeResult result;
@@ -379,5 +381,14 @@ PromatchPredecoder::predecode(const std::vector<uint32_t> &defects,
     }
     return result;
 }
+
+QEC_REGISTER_PREDECODER(
+    promatch,
+    "Promatch locality-aware greedy adaptive predecoder (SM)",
+    [](const BuildContext &context) {
+        return std::make_unique<PromatchPredecoder>(
+            context.graph, context.paths, context.latency,
+            context.promatch);
+    });
 
 } // namespace qec

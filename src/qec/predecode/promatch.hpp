@@ -65,8 +65,15 @@ class PromatchPredecoder : public Predecoder
     {
     }
 
-    PredecodeResult predecode(const std::vector<uint32_t> &defects,
+    PredecodeResult predecode(std::span<const uint32_t> defects,
                               long long cycle_budget) override;
+
+    std::unique_ptr<Predecoder>
+    clone() const override
+    {
+        return std::make_unique<PromatchPredecoder>(
+            graph_, paths_, latency_, config_);
+    }
 
     std::string name() const override { return "Promatch"; }
 

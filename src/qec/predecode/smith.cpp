@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "qec/api/registry.hpp"
+
 namespace qec
 {
 
 PredecodeResult
-SmithPredecoder::predecode(const std::vector<uint32_t> &defects,
+SmithPredecoder::predecode(std::span<const uint32_t> defects,
                            long long cycle_budget)
 {
     (void)cycle_budget; // Not adaptive: one fixed pass.
@@ -65,5 +67,12 @@ SmithPredecoder::predecode(const std::vector<uint32_t> &defects,
     }
     return result;
 }
+
+QEC_REGISTER_PREDECODER(
+    smith, "Smith et al. one-pass greedy local predecoder (SM)",
+    [](const BuildContext &context) {
+        return std::make_unique<SmithPredecoder>(context.graph,
+                                                 context.paths);
+    });
 
 } // namespace qec

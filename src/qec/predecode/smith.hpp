@@ -24,8 +24,15 @@ class SmithPredecoder : public Predecoder
   public:
     using Predecoder::Predecoder;
 
-    PredecodeResult predecode(const std::vector<uint32_t> &defects,
+    PredecodeResult predecode(std::span<const uint32_t> defects,
                               long long cycle_budget) override;
+
+    std::unique_ptr<Predecoder>
+    clone() const override
+    {
+        return std::make_unique<SmithPredecoder>(graph_, paths_);
+    }
+
     std::string name() const override { return "Smith"; }
 };
 

@@ -5,16 +5,22 @@
  * Quickstart:
  * @code
  *   const auto &ctx = qec::ExperimentContext::get(11, 1e-4);
- *   auto decoder = qec::makeDecoder("promatch_astrea", ctx.graph(),
- *                                   ctx.paths());
+ *   auto decoder = qec::build(
+ *       qec::DecoderSpec::parse("promatch+astrea||astrea_g"),
+ *       ctx.graph(), ctx.paths());
  *   auto estimate = qec::estimateLer(ctx, *decoder, {});
  *   std::printf("LER = %.3e\n", estimate.ler);
  * @endcode
+ *
+ * The spec grammar, option keys, and registry extension recipe are
+ * documented in docs/api.md.
  */
 
 #ifndef QEC_QEC_HPP
 #define QEC_QEC_HPP
 
+#include "qec/api/decoder_spec.hpp"
+#include "qec/api/registry.hpp"
 #include "qec/circuit/circuit.hpp"
 #include "qec/decoders/astrea.hpp"
 #include "qec/decoders/astrea_g.hpp"

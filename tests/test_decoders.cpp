@@ -178,11 +178,13 @@ TEST(Decoders, UnionFindCorrectionReproducesSyndrome)
     for (int k = 1; k <= 6; ++k) {
         for (int s = 0; s < 100; ++s) {
             const auto sample = sampler.sample(k, rng);
-            const DecodeResult result = uf.decode(sample.defects);
+            DecodeTrace trace;
+            const DecodeResult result =
+                uf.decode(sample.defects, &trace);
             ASSERT_FALSE(result.aborted);
             // XOR of correction-edge endpoints == syndrome.
             std::set<uint32_t> flipped;
-            for (uint32_t eid : uf.lastCorrection()) {
+            for (uint32_t eid : trace.correctionEdges) {
                 const GraphEdge &edge = ctx.graph().edges()[eid];
                 for (uint32_t v : {edge.u, edge.v}) {
                     if (v == kBoundary) {
@@ -210,10 +212,11 @@ TEST(Decoders, AstreaGPrunesAndStaysWithinBudget)
     Rng rng(11);
     for (int s = 0; s < 200; ++s) {
         const auto sample = sampler.sample(6, rng);
-        const DecodeResult result = ag.decode(sample.defects);
+        DecodeTrace trace;
+        const DecodeResult result =
+            ag.decode(sample.defects, &trace);
         ASSERT_FALSE(result.aborted);
-        EXPECT_LE(ag.lastStatesExplored(),
-                  cfg.astreaGSearchBudget + 1);
+        EXPECT_LE(trace.searchStates, cfg.astreaGSearchBudget + 1);
         EXPECT_LE(result.latencyNs, cfg.budgetNs + 1e-9);
     }
 }

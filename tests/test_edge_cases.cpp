@@ -93,9 +93,11 @@ TEST(ParallelEdge, SurvivingSideWins)
         defects.push_back(det);
     }
     // Astrea aborts (HW 12 > 10); Astrea-G must carry the result.
-    const DecodeResult result = parallel.decode(defects);
+    DecodeTrace trace;
+    const DecodeResult result = parallel.decode(defects, &trace);
     EXPECT_FALSE(result.aborted);
-    EXPECT_EQ(parallel.lastWinner(), 1);
+    EXPECT_EQ(trace.parallelWinner, 1);
+    ASSERT_EQ(trace.children.size(), 2u);
 }
 
 TEST(UnionFindEdge, LoneBoundaryAdjacentDefect)
@@ -111,11 +113,13 @@ TEST(UnionFindEdge, LoneBoundaryAdjacentDefect)
     }
     ASSERT_GE(det, 0);
     UnionFindDecoder uf(ctx.graph(), ctx.paths());
-    const DecodeResult result =
-        uf.decode({static_cast<uint32_t>(det)});
+    const std::vector<uint32_t> defects{
+        static_cast<uint32_t>(det)};
+    DecodeTrace trace;
+    const DecodeResult result = uf.decode(defects, &trace);
     EXPECT_FALSE(result.aborted);
     // The correction must be exactly one boundary-reaching path.
-    EXPECT_GE(uf.lastCorrection().size(), 1u);
+    EXPECT_GE(trace.correctionEdges.size(), 1u);
 }
 
 TEST(UnionFindEdge, AllDetectorsFlippedStillResolves)

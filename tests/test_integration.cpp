@@ -95,6 +95,30 @@ TEST(Integration, PromatchAstreaMatchesMwpmOnLowHw)
     EXPECT_LT(ler_pm, ler_mwpm * 2.0 + 1e-12);
 }
 
+TEST(Integration, ThreadedLerEstimateIsDeterministic)
+{
+    // LerOptions::threads fans decodes over decoder clones; the
+    // sample stream stays serial, so the estimate must be
+    // bit-identical for any thread count.
+    const auto &ctx = ExperimentContext::get(5, 2e-3);
+    auto decoder =
+        makeDecoder("promatch_par_ag", ctx.graph(), ctx.paths());
+
+    LerOptions serial;
+    serial.kMax = 8;
+    serial.samplesPerK = 500;
+    LerOptions threaded = serial;
+    threaded.threads = 4;
+
+    const LerEstimate a = estimateLer(ctx, *decoder, serial);
+    const LerEstimate b = estimateLer(ctx, *decoder, threaded);
+    EXPECT_EQ(a.ler, b.ler);
+    ASSERT_EQ(a.perK.size(), b.perK.size());
+    for (size_t k = 0; k < a.perK.size(); ++k) {
+        EXPECT_EQ(a.perK[k].failures, b.perK[k].failures) << k;
+    }
+}
+
 TEST(Integration, NoiselessExperimentNeverFails)
 {
     const ExperimentContext ctx(3, 1e-4, 3);
