@@ -22,7 +22,7 @@ namespace
 {
 
 double
-lerWithConfig(const ExperimentContext &ctx,
+lerWithConfig(const Bench &bench, const ExperimentContext &ctx,
               const PromatchConfig &config,
               HwConditionalStats *stats)
 {
@@ -30,7 +30,7 @@ lerWithConfig(const ExperimentContext &ctx,
                                ctx.paths(), LatencyConfig{},
                                config);
     const LerEstimate est = estimateLer(
-        ctx, *decoder, standardLerOptions(800),
+        ctx, *decoder, bench.lerOptions(800),
         [&](const SampleView &view) {
             if (stats) {
                 stats->record(
@@ -44,9 +44,12 @@ lerWithConfig(const ExperimentContext &ctx,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Ablation", "Promatch design-choice ablations, d = 13");
+    Bench bench(argc, argv, "ablation_promatch",
+                "Promatch design-choice ablations, d = 13");
+    bench.rejectSpecFilter(
+        "the ablations sweep fixed PromatchConfig variants");
     const auto &ctx = ExperimentContext::get(13, 1e-4);
 
     ReportTable table(
@@ -56,7 +59,7 @@ main()
     {
         PromatchConfig base;
         HwConditionalStats stats;
-        const double ler = lerWithConfig(ctx, base, &stats);
+        const double ler = lerWithConfig(bench, ctx, base, &stats);
         table.addRow({"baseline (paper config)", formatSci(ler),
                       formatSci(
                           stats.conditionalFailRate(11, 64))});
@@ -65,7 +68,7 @@ main()
         PromatchConfig exact;
         exact.exactSingletonCheck = true;
         HwConditionalStats stats;
-        const double ler = lerWithConfig(ctx, exact, &stats);
+        const double ler = lerWithConfig(bench, ctx, exact, &stats);
         table.addRow({"exact singleton check", formatSci(ler),
                       formatSci(
                           stats.conditionalFailRate(11, 64))});
@@ -75,7 +78,7 @@ main()
         fixed.adaptiveTarget = false;
         fixed.fixedTarget = 10;
         HwConditionalStats stats;
-        const double ler = lerWithConfig(ctx, fixed, &stats);
+        const double ler = lerWithConfig(bench, ctx, fixed, &stats);
         table.addRow({"fixed target HW=10", formatSci(ler),
                       formatSci(
                           stats.conditionalFailRate(11, 64))});
@@ -85,7 +88,7 @@ main()
         no34.enableStep3 = false;
         no34.enableStep4 = false;
         HwConditionalStats stats;
-        const double ler = lerWithConfig(ctx, no34, &stats);
+        const double ler = lerWithConfig(bench, ctx, no34, &stats);
         table.addRow({"steps 3+4 disabled", formatSci(ler),
                       formatSci(
                           stats.conditionalFailRate(11, 64))});
@@ -98,7 +101,7 @@ main()
                               smart);
         HwConditionalStats stats;
         const LerEstimate est = estimateLer(
-            ctx, *ag, standardLerOptions(800),
+            ctx, *ag, bench.lerOptions(800),
             [&](const SampleView &view) {
                 stats.record(
                     static_cast<int>(view.defects.size()),
@@ -114,7 +117,7 @@ main()
             makeDecoder("astrea_g", ctx.graph(), ctx.paths());
         HwConditionalStats stats;
         const LerEstimate est = estimateLer(
-            ctx, *ag, standardLerOptions(800),
+            ctx, *ag, bench.lerOptions(800),
             [&](const SampleView &view) {
                 stats.record(
                     static_cast<int>(view.defects.size()),
@@ -125,7 +128,7 @@ main()
                       formatSci(
                           stats.conditionalFailRate(11, 64))});
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nReading: the hardware singleton shortcut and the "
         "adaptive target should\ntrack the baseline closely; "
@@ -133,5 +136,5 @@ main()
         "singleton-heavy patterns; bounding Astrea-G's search "
         "recovers much of\nits gap, showing the gap is a search-"
         "budget artifact, as the paper argues.\n");
-    return 0;
+    return bench.finish();
 }

@@ -14,37 +14,36 @@ using namespace qec;
 using namespace qecbench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 5", "MWPM chain-length distribution, d = 13");
+    Bench bench(argc, argv, "fig05_chain_lengths",
+                "MWPM chain-length distribution, d = 13");
 
     const auto &ctx = ExperimentContext::get(13, 1e-4);
-    auto mwpm = makeDecoder("mwpm", ctx.graph(), ctx.paths());
+    auto mwpm = makeDecoder(bench.specOr("mwpm"), ctx.graph(),
+                            ctx.paths());
 
-    // Sample high-HW syndromes via k-fault injection and accumulate
-    // the chain-length histogram of the exact solutions, weighted by
-    // occurrence probability.
-    ImportanceSampler sampler(ctx.dem(), 24);
-    Rng rng(0xf16'5);
+    // Sample high-HW syndromes via k-fault injection through the
+    // parallel LER engine and accumulate the chain-length histogram
+    // of the exact solutions, weighted by occurrence probability.
+    LerOptions options = bench.lerOptions(400);
+    options.skipBelowK = 6; // k < 6 cannot produce HW > 10.
+    options.seed = 0xf16'5;
+    // Only the high-HW population matters here; skip the decode
+    // for the rest.
+    options.decodeFilter =
+        [](int, const std::vector<uint32_t> &defects) {
+            return defects.size() > 10;
+        };
     WeightedHistogram lengths;
-    const uint64_t per_k = scaledSamples(400);
     uint64_t high_hw_samples = 0;
-    for (int k = 6; k <= 24; ++k) {
-        const double weight =
-            sampler.occurrenceProb(k) / static_cast<double>(per_k);
-        for (uint64_t s = 0; s < per_k; ++s) {
-            const auto sample = sampler.sample(k, rng);
-            if (sample.defects.size() <= 10) {
-                continue;
-            }
-            ++high_hw_samples;
-            const DecodeResult result =
-                mwpm->decode(sample.defects);
-            for (int len : result.chainLengths) {
-                lengths.add(len, weight);
-            }
-        }
-    }
+    estimateLer(ctx, *mwpm, options,
+                [&](const SampleView &view) {
+                    ++high_hw_samples;
+                    for (int len : view.result.chainLengths) {
+                        lengths.add(len, view.weight);
+                    }
+                });
 
     ReportTable table(
         "Figure 5: error-chain length frequency (high-HW, d=13)",
@@ -56,10 +55,12 @@ main()
         table.addRow({std::to_string(len), formatSci(freq),
                       len == 1 ? "> 0.9" : "(tail)"});
     }
-    table.print();
+    bench.emit(table);
+    bench.note("length1_fraction",
+               lengths.probabilityAt(1, total));
     std::printf("\n%llu high-HW syndromes decoded; length-1 "
                 "fraction = %.3f (paper: > 0.9)\n",
                 static_cast<unsigned long long>(high_hw_samples),
                 lengths.probabilityAt(1, total));
-    return 0;
+    return bench.finish();
 }

@@ -8,9 +8,9 @@
 #include "fig_sweep_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    qecbench::banner("Figure 14", "LER vs p sweep, d = 11");
-    qecbench::runSweep(11, 1.1);
-    return 0;
+    qecbench::Bench bench(argc, argv, "fig14_sweep_d11",
+                          "LER vs p sweep, d = 11");
+    return qecbench::runSweep(bench, 11, 1.1);
 }

@@ -8,9 +8,9 @@
 #include "fig_sweep_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    qecbench::banner("Figure 15", "LER vs p sweep, d = 13");
-    qecbench::runSweep(13, 13.9);
-    return 0;
+    qecbench::Bench bench(argc, argv, "fig15_sweep_d13",
+                          "LER vs p sweep, d = 13");
+    return qecbench::runSweep(bench, 13, 13.9);
 }

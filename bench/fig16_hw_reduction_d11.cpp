@@ -7,10 +7,9 @@
 #include "fig_hw_reduction_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    qecbench::banner("Figure 16",
-                     "HW reduction by predecoding, d = 11");
-    qecbench::runHwReduction(11);
-    return 0;
+    qecbench::Bench bench(argc, argv, "fig16_hw_reduction_d11",
+                          "HW reduction by predecoding, d = 11");
+    return qecbench::runHwReduction(bench, 11);
 }

@@ -7,10 +7,9 @@
 #include "fig_hw_reduction_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    qecbench::banner("Figure 17",
-                     "HW reduction by predecoding, d = 13");
-    qecbench::runHwReduction(13);
-    return 0;
+    qecbench::Bench bench(argc, argv, "fig17_hw_reduction_d13",
+                          "HW reduction by predecoding, d = 13");
+    return qecbench::runHwReduction(bench, 13);
 }

@@ -4,6 +4,12 @@
  * syndromes before and after predecoding with Promatch and with the
  * Smith et al. predecoder.
  *
+ * Both predecoders are evaluated through the parallel LER engine on
+ * the SAME syndrome stream: samples are pure functions of
+ * (seed, k, i) via Rng::forSample, so two estimateLer runs with
+ * identical options decode identical syndromes. Residual HW comes
+ * from the per-sample DecodeTrace.
+ *
  * Paper shape: Promatch always lands the residual HW at 10 or below
  * (adaptively at 6/8/10), while Smith leaves a tail beyond 10 that
  * the HW <= 10 main decoder cannot handle.
@@ -17,51 +23,47 @@
 namespace qecbench
 {
 
-inline void
-runHwReduction(int distance)
+inline int
+runHwReduction(Bench &bench, int distance)
 {
+    bench.rejectSpecFilter("Figs. 16/17 compare the Promatch and "
+                           "Smith predecoders on one paired "
+                           "syndrome stream");
     const auto &ctx = qec::ExperimentContext::get(distance, 1e-4);
 
-    auto build = [&](const char *name) {
-        return qec::makeDecoder(name, ctx.graph(), ctx.paths());
-    };
-    auto promatch = build("promatch_astrea");
-    auto smith = build("smith_astrea");
+    qec::LerOptions options = bench.lerOptions(400);
+    options.skipBelowK = 0; // Full HW distribution: decode every k.
+    options.seed = 0x9716;
+    options.collectTraces = true; // Residual HW lives in the trace.
 
-    qec::ImportanceSampler sampler(ctx.dem(), 24);
-    qec::Rng rng(0x9716);
     qec::WeightedHistogram before, after_promatch, after_smith;
-    const uint64_t per_k = scaledSamples(400);
     double above10_before = 0, above10_pm = 0, above10_smith = 0;
 
-    for (int k = 1; k <= 24; ++k) {
-        const double weight =
-            sampler.occurrenceProb(k) / static_cast<double>(per_k);
-        for (uint64_t s = 0; s < per_k; ++s) {
-            const auto sample = sampler.sample(k, rng);
-            const int hw =
-                static_cast<int>(sample.defects.size());
-            before.add(hw, weight);
-            if (hw > 10) {
-                above10_before += weight;
-            }
-
-            qec::DecodeTrace trace;
-            promatch->decode(sample.defects, &trace);
-            const int hw_pm = trace.hwAfter;
-            after_promatch.add(hw_pm, weight);
-            if (hw_pm > 10) {
-                above10_pm += weight;
-            }
-
-            smith->decode(sample.defects, &trace);
-            const int hw_sm = trace.hwAfter;
-            after_smith.add(hw_sm, weight);
-            if (hw_sm > 10) {
-                above10_smith += weight;
-            }
-        }
-    }
+    auto run = [&](const char *config,
+                   qec::WeightedHistogram &after, double &above10,
+                   bool record_before) {
+        auto decoder = qec::makeDecoder(config, ctx.graph(),
+                                        ctx.paths());
+        qec::estimateLer(
+            ctx, *decoder, options,
+            [&](const qec::SampleView &view) {
+                if (record_before) {
+                    const int hw = static_cast<int>(
+                        view.defects.size());
+                    before.add(hw, view.weight);
+                    if (hw > 10) {
+                        above10_before += view.weight;
+                    }
+                }
+                const int residual = view.trace->hwAfter;
+                after.add(residual, view.weight);
+                if (residual > 10) {
+                    above10 += view.weight;
+                }
+            });
+    };
+    run("promatch_astrea", after_promatch, above10_pm, true);
+    run("smith_astrea", after_smith, above10_smith, false);
 
     qec::ReportTable table(
         "HW distribution before/after predecoding, d = " +
@@ -81,8 +83,11 @@ runHwReduction(int distance)
              qec::formatSci(
                  after_smith.probabilityAt(hw, total))});
     }
-    table.print();
+    bench.emit(table);
 
+    bench.note("p_hw_gt10_before", above10_before / total);
+    bench.note("p_hw_gt10_after_promatch", above10_pm / total);
+    bench.note("p_hw_gt10_after_smith", above10_smith / total);
     std::printf(
         "\nP(HW > 10): before = %s, after Promatch = %s, after "
         "Smith = %s\nShape check (paper Figs. 16/17): Promatch "
@@ -91,6 +96,7 @@ runHwReduction(int distance)
         qec::formatSci(above10_before / total).c_str(),
         qec::formatSci(above10_pm / total).c_str(),
         qec::formatSci(above10_smith / total).c_str());
+    return bench.finish();
 }
 
 } // namespace qecbench

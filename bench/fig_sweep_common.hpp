@@ -18,8 +18,9 @@
 namespace qecbench
 {
 
-inline void
-runSweep(int distance, double paper_parallel_gap_note)
+inline int
+runSweep(Bench &bench, int distance,
+         double paper_parallel_gap_note)
 {
     const char *configs[] = {"mwpm",          "promatch_par_ag",
                              "promatch_astrea", "astrea_g",
@@ -39,13 +40,17 @@ runSweep(int distance, double paper_parallel_gap_note)
             qec::ExperimentContext::get(distance, p);
         std::vector<std::string> row = {qec::formatSci(p)};
         for (const char *config : configs) {
-            row.push_back(
-                qec::formatSci(runLer(ctx, config, 700).ler));
+            if (!bench.specEnabled(config)) {
+                row.push_back("-");
+                continue;
+            }
+            row.push_back(qec::formatSci(
+                bench.runLer(ctx, config, 700).ler));
         }
         table.addRow(row);
         std::printf("  done: p=%g\n", p);
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nPaper rows cover p in {1..5}e-4; the p=1e-3 row extends "
         "into the regime\nwhere every entry is resolved by direct "
@@ -53,6 +58,7 @@ runSweep(int distance, double paper_parallel_gap_note)
         "of MWPM across the sweep; Smith+Astrea is orders of\n"
         "magnitude worse; Astrea-G sits between.\n",
         paper_parallel_gap_note);
+    return bench.finish();
 }
 
 } // namespace qecbench

@@ -121,6 +121,32 @@ BM_DecodeUnionFind(benchmark::State &state)
 BENCHMARK(BM_DecodeUnionFind)->Arg(4)->Arg(8)->Arg(16);
 
 void
+BM_DecodeBatchThreads(benchmark::State &state)
+{
+    // Threaded batch decode over per-worker clones: the scaling
+    // knob behind LerOptions::threads.
+    const auto &ctx = ExperimentContext::get(13, 1e-4);
+    auto decoder =
+        makeDecoder("promatch_astrea", ctx.graph(), ctx.paths());
+    const auto batch = sampleSyndromes(ctx, 10, 256);
+    const int threads = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto results =
+            decoder->decodeBatch(batch, nullptr, threads);
+        benchmark::DoNotOptimize(results.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_DecodeBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void
 BM_BlossomRandomDense(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));

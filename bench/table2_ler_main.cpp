@@ -49,11 +49,12 @@ struct Measured
 };
 
 Measured
-measure(const ExperimentContext &ctx, const char *config)
+measure(const Bench &bench, const ExperimentContext &ctx,
+        const char *config)
 {
     HwConditionalStats stats;
-    const LerEstimate est =
-        runLer(ctx, config, 1200, [&](const SampleView &view) {
+    const LerEstimate est = bench.runLer(
+        ctx, config, 1200, [&](const SampleView &view) {
             stats.record(static_cast<int>(view.defects.size()),
                          view.weight, view.failed);
         });
@@ -63,9 +64,10 @@ measure(const ExperimentContext &ctx, const char *config)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Table 2", "LER of main decoder configs, p = 1e-4");
+    Bench bench(argc, argv, "table2_ler_main",
+                "LER of main decoder configs, p = 1e-4");
 
     ReportTable table(
         "Table 2: LER at p = 1e-4 (measured vs paper)",
@@ -76,8 +78,11 @@ main()
     const auto &ctx13 = ExperimentContext::get(13, 1e-4);
 
     for (const Row &row : kRows) {
-        const Measured m11 = measure(ctx11, row.config);
-        const Measured m13 = measure(ctx13, row.config);
+        if (!bench.specEnabled(row.config)) {
+            continue;
+        }
+        const Measured m11 = measure(bench, ctx11, row.config);
+        const Measured m13 = measure(bench, ctx13, row.config);
         table.addRow({row.label, formatSci(m11.ler),
                       formatSci(m11.condHighHw),
                       formatSci(row.paperD11), formatSci(m13.ler),
@@ -85,7 +90,7 @@ main()
                       formatSci(row.paperD13)});
         std::printf("  done: %s\n", row.label);
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nShape checks (see EXPERIMENTS.md): Promatch||AG <="
         " Promatch+Astrea; Astrea-G\ncollapses at d=13 while"
@@ -93,5 +98,5 @@ main()
         "worse; exact MWPM shows no failures at the sampled"
         " resolution (its true LER\nis below the estimator"
         " floor).\n");
-    return 0;
+    return bench.finish();
 }

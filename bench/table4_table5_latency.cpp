@@ -17,9 +17,10 @@ using namespace qec;
 using namespace qecbench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Tables 4 & 5", "Promatch latency on high-HW syndromes");
+    Bench bench(argc, argv, "table4_table5_latency",
+                "Promatch latency on high-HW syndromes");
 
     ReportTable t4("Table 4: predecode latency of high-HW "
                    "syndromes (ns)",
@@ -39,35 +40,38 @@ main()
 
     for (const auto &row : rows) {
         const auto &ctx = ExperimentContext::get(row.d, 1e-4);
-        auto decoder = makeDecoder("promatch_astrea", ctx.graph(),
-                                   ctx.paths());
+        auto decoder = makeDecoder(
+            bench.specOr("promatch_astrea"), ctx.graph(),
+            ctx.paths());
 
-        ImportanceSampler sampler(ctx.dem(), 24);
-        Rng rng(0x1a7e);
+        // High-HW latency statistics ride on the parallel LER
+        // engine's trace observer; samples replay in a fixed order,
+        // so the statistics are thread-count independent.
+        LerOptions options = bench.lerOptions(400);
+        options.skipBelowK = 5; // k < 5 cannot produce HW > 10.
+        options.seed = 0x1a7e;
+        options.collectTraces = true; // Predecode ns is trace data.
+        // High-HW = the predecoder-engaging population; skip the
+        // decode for everything else.
+        options.decodeFilter =
+            [](int, const std::vector<uint32_t> &defects) {
+                return defects.size() > 10;
+            };
         WeightedStats predecode_ns, total_ns;
-        const uint64_t per_k = scaledSamples(400);
-        for (int k = 5; k <= 24; ++k) {
-            const double weight = sampler.occurrenceProb(k) /
-                                  static_cast<double>(per_k);
-            for (uint64_t s = 0; s < per_k; ++s) {
-                const auto sample = sampler.sample(k, rng);
-                // High-HW = the predecoder-engaging population.
-                if (sample.defects.size() <= 10) {
-                    continue;
-                }
-                DecodeTrace trace;
-                const DecodeResult result =
-                    decoder->decode(sample.defects, &trace);
+        estimateLer(
+            ctx, *decoder, options,
+            [&](const SampleView &view) {
                 // The pipeline aborts at the effective budget
                 // (960 ns), so observed latencies cap there.
                 const double cap =
                     LatencyConfig{}.effectiveBudgetNs();
                 predecode_ns.add(
-                    std::min(trace.predecodeNs, cap), weight);
-                total_ns.add(std::min(result.latencyNs, cap),
-                             weight);
-            }
-        }
+                    std::min(view.trace->predecodeNs, cap),
+                    view.weight);
+                total_ns.add(
+                    std::min(view.result.latencyNs, cap),
+                    view.weight);
+            });
 
         t4.addRow({std::to_string(row.d),
                    formatFixed(predecode_ns.max(), 0),
@@ -82,13 +86,13 @@ main()
         std::printf("  done: d=%d (%zu high-HW samples)\n", row.d,
                     predecode_ns.count());
     }
-    t4.print();
-    t5.print();
+    bench.emit(t4);
+    bench.emit(t5);
     std::printf(
         "\nShape checks: predecode averages sit at tens of ns "
         "(most high-HW syndromes\nneed one or two rounds of Step "
         "1); full-decode averages are dominated by the\n~500 ns "
         "Astrea pass at HW 10; maxima approach but respect the "
         "960 ns budget.\n");
-    return 0;
+    return bench.finish();
 }

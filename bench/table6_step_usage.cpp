@@ -17,9 +17,10 @@ using namespace qec;
 using namespace qecbench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Table 6", "Promatch step usage frequency");
+    Bench bench(argc, argv, "table6_step_usage",
+                "Promatch step usage frequency");
 
     ReportTable table(
         "Table 6: deepest Promatch step needed (weighted fraction "
@@ -35,26 +36,28 @@ main()
     for (int di = 0; di < 2; ++di) {
         const int d = di == 0 ? 11 : 13;
         const auto &ctx = ExperimentContext::get(d, 1e-4);
-        auto decoder = makeDecoder("promatch_astrea", ctx.graph(),
-                                   ctx.paths());
+        auto decoder = makeDecoder(
+            bench.specOr("promatch_astrea"), ctx.graph(),
+            ctx.paths());
 
-        ImportanceSampler sampler(ctx.dem(), 24);
-        Rng rng(0x6ab1e + d);
-        const uint64_t per_k = scaledSamples(500);
+        // Step usage rides on the parallel LER engine's trace
+        // observer over the high-HW population.
+        LerOptions options = bench.lerOptions(500);
+        options.skipBelowK = 5; // k < 5 cannot produce HW > 10.
+        options.seed = 0x6ab1e + static_cast<uint64_t>(d);
+        options.collectTraces = true; // Step usage is trace data.
+        // Only high-HW syndromes engage the predecoder steps;
+        // skip the decode for the rest.
+        options.decodeFilter =
+            [](int, const std::vector<uint32_t> &defects) {
+                return defects.size() > 10;
+            };
         double weights[5] = {};
-        for (int k = 5; k <= 24; ++k) {
-            const double weight = sampler.occurrenceProb(k) /
-                                  static_cast<double>(per_k);
-            for (uint64_t s = 0; s < per_k; ++s) {
-                const auto sample = sampler.sample(k, rng);
-                if (sample.defects.size() <= 10) {
-                    continue;
-                }
-                DecodeTrace trace;
-                decoder->decode(sample.defects, &trace);
-                weights[trace.steps.deepest()] += weight;
-            }
-        }
+        estimateLer(ctx, *decoder, options,
+                    [&](const SampleView &view) {
+                        weights[view.trace->steps.deepest()] +=
+                            view.weight;
+                    });
         double total = 0.0;
         for (int s = 1; s <= 4; ++s) {
             total += weights[s];
@@ -72,12 +75,12 @@ main()
                       formatSci(measured[1][s]),
                       formatSci(paper13[s])});
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nShape checks: Step 1 handles the overwhelming majority; "
         "Step 2 the next\norder of magnitude; Steps 3/4 are "
         "vanishingly rare but non-zero (the paper\nmeasures them "
         "at ~1e-11, far below this bench's default sampling "
         "depth —\nraise QEC_BENCH_SCALE to chase the tail).\n");
-    return 0;
+    return bench.finish();
 }

@@ -15,9 +15,12 @@ using namespace qec;
 using namespace qecbench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Table 7", "FPGA utilization (analytical model)");
+    Bench bench(argc, argv, "table7_fpga_model",
+                "FPGA utilization (analytical model)");
+    bench.rejectSpecFilter(
+        "the analytical FPGA model has no decoder configuration");
 
     ReportTable table(
         "Table 7: Promatch edge-processing pipeline utilization",
@@ -38,12 +41,12 @@ main()
                  "3% LUT / 1% FF @250MHz"});
         }
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nShape check: the pipeline is tiny relative to a Kintex "
         "UltraScale+ (the\npaper synthesizes at 3%% LUT / 1%% FF); "
         "the model stays well below that even\nwith 8 parallel "
         "lanes, consistent with \"one can run multiple pipelines "
         "in\nparallel\" (§6.4).\n");
-    return 0;
+    return bench.finish();
 }

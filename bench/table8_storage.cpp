@@ -16,9 +16,12 @@ using namespace qec;
 using namespace qecbench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Table 8", "Edge/Path table storage");
+    Bench bench(argc, argv, "table8_storage",
+                "Edge/Path table storage");
+    bench.rejectSpecFilter(
+        "the storage model has no decoder configuration");
 
     ReportTable table(
         "Table 8: storage requirements",
@@ -45,10 +48,10 @@ main()
              formatFixed(est.pathTableBytes / 1024.0, 1) + " KB",
              row.paper_path});
     }
-    table.print();
+    bench.emit(table);
     std::printf(
         "\nShape check: the d=13/d=11 path-table ratio is "
         "(1176/720)^2 = 2.67, exactly\nthe paper's 345/129; "
         "absolute sizes match the 2-bit four-group encoding.\n");
-    return 0;
+    return bench.finish();
 }

@@ -63,19 +63,24 @@ main(int argc, char **argv)
                     ok ? "corrected" : "LOGICAL ERROR");
     }
 
-    // Estimate the LER with direct Monte Carlo ...
+    // Estimate the LER with direct Monte Carlo (threads = 0 uses
+    // every hardware thread; results are bit-identical for any
+    // thread count) ...
     const qec::DirectMcResult direct =
-        qec::estimateLerDirect(ctx, *decoder, 20000, 7);
+        qec::estimateLerDirect(ctx, *decoder, 20000, 7,
+                               /*threads=*/0);
     std::printf("\nDirect Monte Carlo:    LER = %.3e  "
                 "(%llu failures / %llu shots)\n",
                 direct.ler,
                 static_cast<unsigned long long>(direct.failures),
                 static_cast<unsigned long long>(direct.shots));
 
-    // ... and with the paper's Eq. 1 importance sampler.
+    // ... and with the paper's Eq. 1 importance sampler, sharded
+    // across all hardware threads.
     qec::LerOptions options;
     options.kMax = 16;
     options.samplesPerK = 1000;
+    options.threads = 0;
     const qec::LerEstimate est =
         qec::estimateLer(ctx, *decoder, options);
     std::printf("Importance sampling:   LER = %.3e  "

@@ -1,6 +1,6 @@
 #include "qec/decoders/decoder.hpp"
 
-#include <thread>
+#include "qec/util/parallel_for.hpp"
 
 namespace qec
 {
@@ -13,35 +13,23 @@ Decoder::decodeBatch(const std::vector<std::vector<uint32_t>> &batch,
     if (traces) {
         traces->assign(batch.size(), DecodeTrace{});
     }
-    if (threads <= 1 || batch.size() <= 1) {
-        for (size_t i = 0; i < batch.size(); ++i) {
-            results[i] = decode(batch[i],
-                                traces ? &(*traces)[i] : nullptr);
-        }
-        return results;
-    }
-
-    const size_t workers = std::min<size_t>(
-        static_cast<size_t>(threads), batch.size());
-    // Contiguous static partition: deterministic assignment, and
-    // each worker decodes on its own clone so no state is shared.
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) {
-        const size_t begin = batch.size() * w / workers;
-        const size_t end = batch.size() * (w + 1) / workers;
-        pool.emplace_back([this, &batch, &results, traces, begin,
-                           end]() {
-            const std::unique_ptr<Decoder> worker = clone();
+    // Each worker decodes a contiguous slice on its own engine
+    // (slice 0, which parallelFor runs on the calling thread,
+    // reuses this instance; see WorkerDecoders), so no mutable
+    // decoder state is shared and results land at the same indices
+    // as their syndromes — bit-identical to a serial run.
+    const WorkerDecoders engines(
+        *this, parallelWorkers(batch.size(), threads));
+    parallelFor(
+        batch.size(), threads,
+        [&batch, &results, traces,
+         &engines](size_t begin, size_t end, int worker) {
+            Decoder *engine = engines.engine(worker);
             for (size_t i = begin; i < end; ++i) {
-                results[i] = worker->decode(
+                results[i] = engine->decode(
                     batch[i], traces ? &(*traces)[i] : nullptr);
             }
         });
-    }
-    for (std::thread &t : pool) {
-        t.join();
-    }
     return results;
 }
 

@@ -160,14 +160,18 @@ class Decoder
      * Decode a batch of syndromes, optionally across threads.
      *
      * The default implementation decodes in order on this instance
-     * when threads <= 1, and otherwise fans contiguous slices of the
-     * batch across `threads` worker threads, each working on its own
-     * clone(). Results and traces land at the same indices as their
-     * syndromes and are bit-identical to a serial run.
+     * when one worker suffices, and otherwise fans contiguous
+     * slices of the batch across worker threads, each working on
+     * its own clone() (slice 0 runs on the calling thread with
+     * this instance). Results and traces land at the same indices
+     * as their syndromes and are bit-identical to a serial run.
      *
      * @param batch    syndromes (each sorted)
      * @param traces   optional per-syndrome traces, resized to match
-     * @param threads  worker thread count; <= 1 decodes serially
+     * @param threads  worker thread count; 1 decodes serially, and
+     *                 <= 0 means one worker per hardware thread
+     *                 (the project-wide convention of
+     *                 qec::parallelFor / LerOptions::threads)
      */
     virtual std::vector<DecodeResult> decodeBatch(
         const std::vector<std::vector<uint32_t>> &batch,
@@ -182,6 +186,37 @@ class Decoder
   protected:
     const DecodingGraph &graph_;
     const PathTable &paths_;
+};
+
+/**
+ * Per-worker decoder engines for a deterministic fork/join region:
+ * worker 0 decodes on the source instance (the calling thread's
+ * slice), workers 1..W-1 on clones. Clones are created serially in
+ * the constructor — the Decoder contract does not promise clone()
+ * is safe while another thread decodes on the source — and shared
+ * by decodeBatch, estimateLer, and estimateLerDirect.
+ */
+class WorkerDecoders
+{
+  public:
+    WorkerDecoders(Decoder &source, int workers) : source_(source)
+    {
+        for (int w = 1; w < workers; ++w) {
+            clones_.push_back(source.clone());
+        }
+    }
+
+    /** The engine worker `worker` must decode on. */
+    Decoder *
+    engine(int worker) const
+    {
+        return worker == 0 ? &source_
+                           : clones_[worker - 1].get();
+    }
+
+  private:
+    Decoder &source_;
+    std::vector<std::unique_ptr<Decoder>> clones_;
 };
 
 } // namespace qec

@@ -1,20 +1,50 @@
 #include "qec/harness/ler_estimator.hpp"
 
+#include <algorithm>
+
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/parallel_for.hpp"
 
 namespace qec
 {
+
+int
+LerOptions::resolvedThreads() const
+{
+    return resolveHardwareThreads(threads);
+}
 
 LerEstimate
 estimateLer(const ExperimentContext &context, Decoder &decoder,
             const LerOptions &options, const SampleObserver &observer)
 {
     ImportanceSampler sampler(context.dem(), options.kMax);
-    Rng rng(options.seed);
+    // parallelFor resolves threads <= 0 to hardware concurrency.
+    const int threads = options.threads;
+    const size_t n = static_cast<size_t>(options.samplesPerK);
+
+    // One engine per worker (worker 0 = the original decoder on
+    // the calling thread, the rest clones created serially up
+    // front), reused across every k-batch.
+    const WorkerDecoders engines(decoder,
+                                 parallelWorkers(n, threads));
 
     LerEstimate estimate;
     estimate.expectedFaults = sampler.expectedFaults();
+
+    // Per-sample slots, reused across k-batches. Workers only write
+    // their own indices, so slices stay disjoint.
+    std::vector<std::vector<uint32_t>> defects(n);
+    std::vector<uint64_t> obsMasks(n);
+    std::vector<DecodeResult> results(n);
+    const bool wantTraces =
+        observer && options.collectTraces;
+    std::vector<DecodeTrace> traces(wantTraces ? n : 0);
+    const bool hasFilter =
+        static_cast<bool>(options.decodeFilter);
+    std::vector<char> skipped(hasFilter ? n : 0, 0);
+
     for (int k = 1; k <= options.kMax; ++k) {
         KStats stats;
         stats.k = k;
@@ -25,37 +55,59 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
             continue;
         }
         const double weight =
-            stats.occurrence /
-            static_cast<double>(options.samplesPerK);
-        // Draw the whole k-batch serially (deterministic RNG
-        // stream), then fan the decodes across threads. Identical
-        // samples and results regardless of options.threads.
-        std::vector<std::vector<uint32_t>> batch;
-        batch.reserve(options.samplesPerK);
-        std::vector<uint64_t> obs_masks;
-        obs_masks.reserve(options.samplesPerK);
-        for (uint64_t s = 0; s < options.samplesPerK; ++s) {
-            ImportanceSampler::Sample sample =
-                sampler.sample(k, rng);
-            obs_masks.push_back(sample.obsMask);
-            batch.push_back(std::move(sample.defects));
-        }
-        const std::vector<DecodeResult> results =
-            decoder.decodeBatch(batch, nullptr, options.threads);
-        for (uint64_t s = 0; s < options.samplesPerK; ++s) {
-            const DecodeResult &result = results[s];
-            const bool failed =
-                result.aborted ||
-                result.predictedObs != obs_masks[s];
+            stats.occurrence / static_cast<double>(n);
+        // Sharded k-batch: sample i draws from its own counter-based
+        // stream Rng::forSample(seed, k, i), so the syndrome set is
+        // a pure function of (seed, k) — workers fuse sampling and
+        // decoding without any serial bottleneck, and the results
+        // are bit-identical for any thread count.
+        parallelFor(
+            n, threads,
+            [&](size_t begin, size_t end, int worker) {
+                Decoder *engine = engines.engine(worker);
+                for (size_t i = begin; i < end; ++i) {
+                    Rng rng = Rng::forSample(
+                        options.seed, static_cast<uint64_t>(k), i);
+                    ImportanceSampler::Sample sample =
+                        sampler.sample(k, rng);
+                    obsMasks[i] = sample.obsMask;
+                    defects[i] = std::move(sample.defects);
+                    if (hasFilter) {
+                        skipped[i] = options.decodeFilter(
+                                         k, defects[i])
+                                         ? 0
+                                         : 1;
+                        if (skipped[i]) {
+                            continue;
+                        }
+                    }
+                    results[i] = engine->decode(
+                        defects[i],
+                        wantTraces ? &traces[i] : nullptr);
+                }
+            });
+        // Serial replay in sample order: per-K statistics accumulate
+        // and the observer fires in the same sequence regardless of
+        // how the batch was partitioned.
+        for (size_t i = 0; i < n; ++i) {
             ++stats.samples;
+            if (hasFilter && skipped[i]) {
+                // Filtered out before decoding: counted as a
+                // non-failure, invisible to the observer.
+                continue;
+            }
+            const DecodeResult &result = results[i];
+            const bool failed = result.aborted ||
+                                result.predictedObs != obsMasks[i];
             stats.failures += failed ? 1 : 0;
             if (observer) {
-                observer({k, weight, batch[s], result, failed});
+                observer({k, weight, defects[i], result,
+                          wantTraces ? &traces[i] : nullptr,
+                          failed});
             }
         }
-        stats.failureProb =
-            static_cast<double>(stats.failures) /
-            static_cast<double>(stats.samples);
+        stats.failureProb = static_cast<double>(stats.failures) /
+                            static_cast<double>(stats.samples);
         estimate.ler += stats.occurrence * stats.failureProb;
         estimate.perK.push_back(stats);
     }
@@ -64,33 +116,61 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
 
 DirectMcResult
 estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
-                  uint64_t shots, uint64_t seed)
+                  uint64_t shots, uint64_t seed, int threads)
 {
-    FrameSimulator simulator(context.experiment().circuit);
-    Rng rng(seed);
-    BatchResult batch;
     DirectMcResult result;
-    while (result.shots < shots) {
-        simulator.sampleBatch(rng, batch);
-        const int lanes = static_cast<int>(
-            std::min<uint64_t>(64, shots - result.shots));
-        for (int lane = 0; lane < lanes; ++lane) {
-            std::vector<uint32_t> defects;
-            for (size_t det = 0; det < batch.detectors.size();
-                 ++det) {
-                if ((batch.detectors[det] >> lane) & 1) {
-                    defects.push_back(
-                        static_cast<uint32_t>(det));
+    if (shots == 0) {
+        return result;
+    }
+    const uint64_t blocks = (shots + 63) / 64;
+    const int workers =
+        parallelWorkers(static_cast<size_t>(blocks), threads);
+    // Block b draws from Rng::forSample(seed, 0, b), so each
+    // 64-lane batch is independent of every other — workers own a
+    // FrameSimulator and a decoder engine (see WorkerDecoders) and
+    // the failure count is bit-identical for any thread count.
+    const WorkerDecoders engines(decoder, workers);
+    std::vector<uint64_t> failures(
+        static_cast<size_t>(workers), 0);
+    parallelFor(
+        static_cast<size_t>(blocks), threads,
+        [&](size_t begin, size_t end, int worker) {
+            FrameSimulator simulator(
+                context.experiment().circuit);
+            Decoder *engine = engines.engine(worker);
+            BatchResult batch;
+            std::vector<uint32_t> block_defects;
+            uint64_t local = 0;
+            for (size_t b = begin; b < end; ++b) {
+                Rng rng = Rng::forSample(seed, 0, b);
+                simulator.sampleBatch(rng, batch);
+                const int lanes = static_cast<int>(
+                    std::min<uint64_t>(64, shots - b * 64));
+                for (int lane = 0; lane < lanes; ++lane) {
+                    block_defects.clear();
+                    for (size_t det = 0;
+                         det < batch.detectors.size(); ++det) {
+                        if ((batch.detectors[det] >> lane) & 1) {
+                            block_defects.push_back(
+                                static_cast<uint32_t>(det));
+                        }
+                    }
+                    const uint64_t actual =
+                        batch.observableMask(lane);
+                    const DecodeResult decoded =
+                        engine->decode(block_defects);
+                    const bool fail =
+                        decoded.aborted ||
+                        decoded.predictedObs != actual;
+                    local += fail ? 1 : 0;
                 }
             }
-            const uint64_t actual = batch.observableMask(lane);
-            const DecodeResult decoded = decoder.decode(defects);
-            const bool failed = decoded.aborted ||
-                                decoded.predictedObs != actual;
-            result.failures += failed ? 1 : 0;
-            ++result.shots;
-        }
+            failures[static_cast<size_t>(worker)] = local;
+        });
+    for (uint64_t f : failures) {
+        result.failures += f;
     }
+    result.shots = shots;
     result.ler = static_cast<double>(result.failures) /
                  static_cast<double>(result.shots);
     return result;

@@ -35,14 +35,43 @@ struct LerOptions
      */
     int skipBelowK = 0;
     /**
-     * Decode worker threads per k-batch. Sampling stays serial (the
-     * RNG stream, and therefore every syndrome, is identical for
-     * any thread count); the decodes fan out over decoder clones
-     * via Decoder::decodeBatch, and the observer runs serially in
-     * sample order afterwards — results are bit-identical to a
-     * single-threaded run.
+     * Worker threads per k-batch; 0 means one per hardware thread.
+     *
+     * Threading contract: sample i of the k-batch draws from its
+     * own counter-based stream Rng::forSample(seed, k, i), so every
+     * syndrome is a pure function of (seed, k, i) and the DEM —
+     * independent of thread count, partitioning, and execution
+     * order. Workers fuse sampling and decoding, each on its own
+     * Decoder::clone(); statistics and observer callbacks are then
+     * replayed serially in sample order. Results are bit-identical
+     * for any value of `threads`.
      */
     int threads = 1;
+
+    /**
+     * Collect a full DecodeTrace per decoded sample and hand it to
+     * the observer as SampleView::trace. Off by default: trace
+     * bookkeeping costs allocation on the hot decode loop, and
+     * most observers only need the result.
+     */
+    bool collectTraces = false;
+
+    /**
+     * Optional pre-decode filter: return false to skip decoding a
+     * sample entirely. Skipped samples still count toward
+     * KStats::samples (as non-failures — the estimate treats the
+     * skipped population as decoded correctly) and are never shown
+     * to the observer. Trace-statistics benches use this to pay
+     * only for the sub-population they study (e.g. HW > 10). Must
+     * be a pure function of its arguments; it is called
+     * concurrently from worker threads, and results stay
+     * bit-identical for any thread count.
+     */
+    std::function<bool(int k, const std::vector<uint32_t> &defects)>
+        decodeFilter;
+
+    /** `threads` with 0 resolved to the hardware concurrency. */
+    int resolvedThreads() const;
 };
 
 /** Per-k statistics from the estimator. */
@@ -73,6 +102,13 @@ struct SampleView
     double weight;
     const std::vector<uint32_t> &defects;
     const DecodeResult &result;
+    /**
+     * Full decode introspection (predecoder HW reduction, step
+     * usage, latencies, sub-decoder traces). Non-null only when
+     * LerOptions::collectTraces is set; the benches' trace-level
+     * statistics all ride on this hook.
+     */
+    const DecodeTrace *trace;
     bool failed;
 };
 
@@ -91,10 +127,19 @@ struct DirectMcResult
     double ler = 0.0;
 };
 
-/** Plain Monte-Carlo LER over the frame simulator. */
+/**
+ * Plain Monte-Carlo LER over the frame simulator.
+ *
+ * Shots are processed in 64-lane blocks; block b draws from the
+ * counter-based stream Rng::forSample(seed, 0, b) and the blocks
+ * are sharded across `threads` workers (0 = hardware concurrency),
+ * each owning its own FrameSimulator and Decoder::clone(). The
+ * result is bit-identical for any thread count.
+ */
 DirectMcResult estimateLerDirect(const ExperimentContext &context,
                                  Decoder &decoder, uint64_t shots,
-                                 uint64_t seed = 12345);
+                                 uint64_t seed = 12345,
+                                 int threads = 1);
 
 } // namespace qec
 

@@ -61,6 +61,50 @@ ReportTable::print() const
 }
 
 std::string
+ReportTable::json() const
+{
+    std::string out = "{\"title\": " + jsonQuote(title_) +
+                      ", \"headers\": [";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        out += (c ? ", " : "") + jsonQuote(headers_[c]);
+    }
+    out += "], \"rows\": [";
+    for (size_t r = 0; r < rows.size(); ++r) {
+        out += r ? ", [" : "[";
+        for (size_t c = 0; c < rows[r].size(); ++c) {
+            out += (c ? ", " : "") + jsonQuote(rows[r][c]);
+        }
+        out += "]";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char ch : text) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
 formatSci(double value)
 {
     char buf[32];

@@ -30,6 +30,16 @@ class ReportTable
     /** Render and print to stdout. */
     void print() const;
 
+    /**
+     * Machine-readable rendering:
+     * {"title": ..., "headers": [...], "rows": [[...], ...]}.
+     * Cells are the already-formatted strings of the console view,
+     * so one schema covers every bench (docs/benchmarks.md).
+     */
+    std::string json() const;
+
+    const std::string &title() const { return title_; }
+
   private:
     std::string title_;
     std::vector<std::string> headers_;
@@ -48,6 +58,9 @@ std::string formatRatio(double value, double baseline);
 /** Reads a scale factor from the environment (QEC_BENCH_SCALE);
  *  benches multiply their sample counts by it. Default 1.0. */
 double benchScale();
+
+/** JSON string literal: escapes and surrounds with quotes. */
+std::string jsonQuote(const std::string &text);
 
 } // namespace qec
 

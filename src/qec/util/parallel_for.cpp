@@ -1,0 +1,64 @@
+#include "qec/util/parallel_for.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace qec
+{
+
+int
+resolveHardwareThreads(int threads)
+{
+    if (threads > 0) {
+        return threads;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+parallelWorkers(size_t n, int threads)
+{
+    if (n == 0) {
+        return 0;
+    }
+    return static_cast<int>(std::min(
+        static_cast<size_t>(resolveHardwareThreads(threads)), n));
+}
+
+void
+parallelFor(
+    size_t n, int threads,
+    const std::function<void(size_t begin, size_t end, int worker)>
+        &body)
+{
+    const int workers = parallelWorkers(n, threads);
+    if (workers == 0) {
+        return;
+    }
+    if (workers == 1) {
+        body(0, n, 0);
+        return;
+    }
+    // Contiguous static partition: slice w is [n*w/W, n*(w+1)/W),
+    // a pure function of (n, W) — deterministic work assignment.
+    // Workers 1..W-1 get their own threads; the calling thread
+    // runs slice 0 itself instead of idling in join().
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (int w = 1; w < workers; ++w) {
+        const size_t begin =
+            n * static_cast<size_t>(w) / workers;
+        const size_t end =
+            n * (static_cast<size_t>(w) + 1) / workers;
+        pool.emplace_back(
+            [&body, begin, end, w]() { body(begin, end, w); });
+    }
+    body(0, n / static_cast<size_t>(workers), 0);
+    for (std::thread &t : pool) {
+        t.join();
+    }
+}
+
+} // namespace qec

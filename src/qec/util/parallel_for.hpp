@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic fork/join helper shared by the batched decode path
+ * and the LER evaluation engine.
+ *
+ * parallelFor splits [0, n) into at most `threads` contiguous
+ * slices and runs the body once per slice, each slice on its own
+ * worker thread (inline on the calling thread when a single worker
+ * suffices). The partition is a pure function of (n, threads), so
+ * callers that key per-index work off the index itself — e.g.
+ * counter-based RNG streams via Rng::forSample — produce results
+ * that are bit-identical for any thread count.
+ */
+
+#ifndef QEC_UTIL_PARALLEL_FOR_HPP
+#define QEC_UTIL_PARALLEL_FOR_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace qec
+{
+
+/**
+ * The project-wide thread-count convention, resolved: values <= 0
+ * mean one worker per hardware thread; positive values pass
+ * through. Always returns >= 1.
+ */
+int resolveHardwareThreads(int threads);
+
+/**
+ * Run `body(begin, end, worker)` over contiguous slices of [0, n).
+ *
+ * @param n        iteration-space size; n == 0 returns immediately
+ * @param threads  requested worker count; <= 0 means one per
+ *                 hardware thread (resolveHardwareThreads), then
+ *                 clamped to [1, n]. With one effective worker the
+ *                 body runs inline on the calling thread (no
+ *                 spawn).
+ * @param body     slice handler; `worker` is the slice index in
+ *                 [0, workers). The body must only touch state
+ *                 disjoint between slices (e.g. per-index output
+ *                 cells); exceptions must not escape it.
+ */
+void parallelFor(
+    size_t n, int threads,
+    const std::function<void(size_t begin, size_t end, int worker)>
+        &body);
+
+/**
+ * Effective worker count parallelFor would use:
+ * clamp(resolveHardwareThreads(threads), 1, n). Exposed so callers
+ * can size per-worker scratch state.
+ */
+int parallelWorkers(size_t n, int threads);
+
+} // namespace qec
+
+#endif // QEC_UTIL_PARALLEL_FOR_HPP

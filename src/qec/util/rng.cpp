@@ -36,6 +36,25 @@ Rng::Rng(uint64_t seed)
     }
 }
 
+Rng
+Rng::forSample(uint64_t seed, uint64_t stream, uint64_t sample)
+{
+    // Absorb (stream, sample) into the seed through two splitmix64
+    // rounds each, with distinct odd multipliers so (a, b) and
+    // (b, a) land in unrelated states. splitmix64 is a bijective
+    // avalanche mix, so nearby counters (k, i) and (k, i+1) yield
+    // decorrelated xoshiro initial states. Each round: advance s
+    // by the splitmix gamma, then fold the hash and the counter
+    // term back in (explicit temporaries — splitmix64 advances its
+    // argument).
+    uint64_t s = seed;
+    const uint64_t h1 = splitmix64(s);
+    s ^= h1 + stream * 0xd1b54a32d192ed03ull;
+    const uint64_t h2 = splitmix64(s);
+    s ^= h2 + sample * 0x8cb92ba72f3d8dd7ull;
+    return Rng(splitmix64(s));
+}
+
 uint64_t
 Rng::next64()
 {

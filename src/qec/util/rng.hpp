@@ -30,6 +30,22 @@ class Rng
     /** Construct from a 64-bit seed (expanded via splitmix64). */
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+    /**
+     * Counter-based stream derivation: an independent generator for
+     * logical sample (stream, sample) under a run seed.
+     *
+     * The returned Rng is a pure function of its three arguments —
+     * no global sequencing — so a parallel harness can hand every
+     * sample its own stream and produce bit-identical draws
+     * regardless of how samples are partitioned across threads or
+     * in what order they run. The LER estimator uses
+     * forSample(seed, k, i) for sample i of the k-fault batch; the
+     * direct Monte-Carlo estimator uses forSample(seed, 0, block)
+     * for each 64-lane block.
+     */
+    static Rng forSample(uint64_t seed, uint64_t stream,
+                         uint64_t sample);
+
     /** Next raw 64 random bits. */
     uint64_t next64();
 

@@ -97,9 +97,10 @@ TEST(Integration, PromatchAstreaMatchesMwpmOnLowHw)
 
 TEST(Integration, ThreadedLerEstimateIsDeterministic)
 {
-    // LerOptions::threads fans decodes over decoder clones; the
-    // sample stream stays serial, so the estimate must be
-    // bit-identical for any thread count.
+    // LerOptions::threads shards sampling and decoding across
+    // decoder clones, with sample i of the k-batch on its own
+    // counter-based Rng::forSample(seed, k, i) stream — so the
+    // estimate must be bit-identical for any thread count.
     const auto &ctx = ExperimentContext::get(5, 2e-3);
     auto decoder =
         makeDecoder("promatch_par_ag", ctx.graph(), ctx.paths());
