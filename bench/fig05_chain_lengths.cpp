@@ -29,6 +29,9 @@ main(int argc, char **argv)
     LerOptions options = bench.lerOptions(400);
     options.skipBelowK = 6; // k < 6 cannot produce HW > 10.
     options.seed = 0xf16'5;
+    // Chain lengths ride on the trace since the workspace refactor
+    // (the hot DecodeResult is plain data).
+    options.collectTraces = true;
     // Only the high-HW population matters here; skip the decode
     // for the rest.
     options.decodeFilter =
@@ -40,7 +43,7 @@ main(int argc, char **argv)
     estimateLer(ctx, *mwpm, options,
                 [&](const SampleView &view) {
                     ++high_hw_samples;
-                    for (int len : view.result.chainLengths) {
+                    for (int len : view.trace->chainLengths) {
                         lengths.add(len, view.weight);
                     }
                 });

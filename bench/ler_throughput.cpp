@@ -10,6 +10,7 @@
  * scaling is the wall-clock cost of every reproduction number.
  */
 
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -46,6 +47,8 @@ main(int argc, char **argv)
     sweep.push_back(max_threads);
 
     double serial_seconds = 0.0;
+    uint64_t reference_decoded = 0;
+    double best_samples_per_s = 0.0;
     LerEstimate reference;
     bool all_identical = true;
     for (int threads : sweep) {
@@ -72,10 +75,14 @@ main(int argc, char **argv)
         }
         if (threads == 1) {
             serial_seconds = seconds;
+            reference_decoded = decoded;
             reference = est;
         } else if (est.ler != reference.ler) {
             identical = false;
         }
+        best_samples_per_s =
+            std::max(best_samples_per_s,
+                     static_cast<double>(decoded) / seconds);
 
         table.addRow(
             {std::to_string(threads), formatFixed(seconds, 2),
@@ -97,6 +104,12 @@ main(int argc, char **argv)
         }
     }
     bench.emit(table);
+    // Scalar metrics for the BENCH_ler_throughput.json trajectory
+    // (compared across PRs; see docs/benchmarks.md).
+    bench.note("serial_samples_per_s",
+               static_cast<double>(reference_decoded) /
+                   serial_seconds);
+    bench.note("best_samples_per_s", best_samples_per_s);
     std::printf(
         "\nEvery row decodes the identical syndrome set "
         "(counter-based Rng::forSample\nstreams), so 'speedup' is "

@@ -146,11 +146,10 @@ BENCHMARK(BM_DecodeBatchThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-void
-BM_BlossomRandomDense(benchmark::State &state)
+MatchingProblem
+randomDenseProblem(int n, uint64_t seed)
 {
-    const int n = static_cast<int>(state.range(0));
-    Rng rng(42);
+    Rng rng(seed);
     MatchingProblem problem;
     problem.n = n;
     problem.pairWeight.assign(static_cast<size_t>(n) * n, kNoEdge);
@@ -161,12 +160,45 @@ BM_BlossomRandomDense(benchmark::State &state)
             problem.setPair(i, j, 1.0 + 10.0 * rng.nextDouble());
         }
     }
+    return problem;
+}
+
+void
+BM_BlossomRandomDense(benchmark::State &state)
+{
+    const MatchingProblem problem =
+        randomDenseProblem(static_cast<int>(state.range(0)), 42);
     for (auto _ : state) {
         const MatchingSolution solution = solveBlossom(problem);
         benchmark::DoNotOptimize(solution.totalWeight);
     }
 }
 BENCHMARK(BM_BlossomRandomDense)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
+
+void
+BM_BlossomReuse(benchmark::State &state)
+{
+    // Regression guard for the workspace refactor: a reused
+    // BlossomSolver must overwrite (not re-assign) its O(cap^2)
+    // matrices, so a warm solver cycling over same-size instances
+    // performs zero heap allocations per solve. Compare against
+    // BM_BlossomRandomDense, which pays the cold-solver cost every
+    // iteration.
+    const int n = static_cast<int>(state.range(0));
+    std::vector<MatchingProblem> problems;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        problems.push_back(randomDenseProblem(n, 100 + seed));
+    }
+    BlossomSolver solver;
+    MatchingSolution solution;
+    size_t i = 0;
+    for (auto _ : state) {
+        solver.solve(problems[i++ % problems.size()], solution);
+        benchmark::DoNotOptimize(solution.totalWeight);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlossomReuse)->Arg(8)->Arg(16)->Arg(32)->Arg(48);
 
 } // namespace
 

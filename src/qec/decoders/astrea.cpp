@@ -1,14 +1,15 @@
 #include "qec/decoders/astrea.hpp"
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
 #include "qec/matching/defect_graph.hpp"
-#include "qec/matching/exhaustive.hpp"
 
 namespace qec
 {
 
 DecodeResult
 AstreaDecoder::decode(std::span<const uint32_t> defects,
+                      DecodeWorkspace &workspace,
                       DecodeTrace *trace)
 {
     if (trace) {
@@ -29,8 +30,10 @@ AstreaDecoder::decode(std::span<const uint32_t> defects,
         result.latencyNs = latency_.budgetNs;
         return result;
     }
-    const DefectGraph dg = buildDefectGraph(defects, paths_);
-    const MatchingSolution solution = solveExhaustive(dg.problem);
+    DefectGraph &dg = workspace.defectGraph;
+    buildDefectGraphInto(defects, paths_, dg);
+    MatchingSolution &solution = workspace.solution;
+    workspace.exhaustive.solve(dg.problem, solution);
     if (!solution.valid) {
         result.aborted = true;
         result.latencyNs = latency_.budgetNs;
@@ -39,7 +42,10 @@ AstreaDecoder::decode(std::span<const uint32_t> defects,
     result.predictedObs = dg.solutionObs(paths_, solution);
     result.weight = solution.totalWeight;
     result.latencyNs = latency_.astreaLatencyNs(hw);
-    result.chainLengths = dg.chainLengths(paths_, solution);
+    if (trace) {
+        dg.chainLengthsInto(paths_, solution,
+                            trace->chainLengths);
+    }
     return result;
 }
 

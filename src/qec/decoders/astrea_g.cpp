@@ -1,192 +1,18 @@
 #include "qec/decoders/astrea_g.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
 #include "qec/matching/defect_graph.hpp"
-#include "qec/util/assert.hpp"
+#include "qec/matching/near_exhaustive.hpp"
 
 namespace qec
 {
 
-namespace
-{
-
-/** Budgeted branch-and-bound over pairings of a pruned defect graph. */
-class NearExhaustiveSearch
-{
-  public:
-    NearExhaustiveSearch(const MatchingProblem &problem,
-                         long long budget, bool use_bound)
-        : problem_(problem), budget_(budget), useBound(use_bound),
-          mate(problem.n, -2), bestMate(problem.n, -2)
-    {
-        // Per-defect candidate lists sorted by ascending weight, the
-        // "prioritized matchings" of Astrea-G's greedy order.
-        options.resize(problem_.n);
-        minOption.assign(problem_.n, kNoEdge);
-        for (int i = 0; i < problem_.n; ++i) {
-            if (problem_.boundaryWeight[i] != kNoEdge) {
-                options[i].push_back({problem_.boundaryWeight[i], -1});
-            }
-            for (int j = 0; j < problem_.n; ++j) {
-                if (j != i && problem_.pair(i, j) != kNoEdge) {
-                    options[i].push_back({problem_.pair(i, j), j});
-                }
-            }
-            std::sort(options[i].begin(), options[i].end());
-            if (!options[i].empty()) {
-                minOption[i] = options[i].front().first;
-            }
-        }
-    }
-
-    /** Run the search; returns best matching found (maybe greedy). */
-    MatchingSolution
-    run()
-    {
-        recurse(0.0);
-        MatchingSolution solution;
-        if (best == kNoEdge) {
-            // Not even a greedy completion existed.
-            solution.valid = false;
-            return solution;
-        }
-        solution.mate = bestMate;
-        solution.totalWeight = best;
-        solution.valid = true;
-        return solution;
-    }
-
-    long long statesExplored() const { return states; }
-    bool truncated() const { return hitBudget; }
-
-  private:
-    /** Admissible lower bound on completing the partial matching. */
-    double
-    remainingBound() const
-    {
-        double bound = 0.0;
-        for (int i = 0; i < problem_.n; ++i) {
-            if (mate[i] == -2) {
-                bound += minOption[i] * 0.5;
-            }
-        }
-        return bound;
-    }
-
-    /** Greedy completion used when the budget runs out. */
-    void
-    greedyComplete(double weight)
-    {
-        std::vector<int> saved = mate;
-        for (int i = 0; i < problem_.n; ++i) {
-            if (mate[i] != -2) {
-                continue;
-            }
-            double best_w = kNoEdge;
-            int best_j = -3;
-            for (const auto &[w, j] : options[i]) {
-                if (j == -1 || mate[j] == -2) {
-                    best_w = w;
-                    best_j = j;
-                    break; // Options are sorted by weight.
-                }
-            }
-            if (best_j == -3) {
-                mate = saved;
-                return; // Dead end; keep previous best.
-            }
-            mate[i] = best_j;
-            if (best_j >= 0) {
-                mate[best_j] = i;
-            }
-            weight += best_w;
-        }
-        if (weight < best) {
-            best = weight;
-            bestMate = mate;
-        }
-        mate = saved;
-    }
-
-    void
-    recurse(double weight)
-    {
-        if (hitBudget) {
-            return;
-        }
-        if (++states > budget_) {
-            hitBudget = true;
-            return;
-        }
-        if (weight + (useBound ? remainingBound() : 0.0) >= best) {
-            return;
-        }
-        int first = 0;
-        const int n = problem_.n;
-        while (first < n && mate[first] != -2) {
-            ++first;
-        }
-        if (first == n) {
-            if (weight < best) {
-                best = weight;
-                bestMate = mate;
-            }
-            return;
-        }
-        bool expanded = false;
-        for (const auto &[w, j] : options[first]) {
-            if (j >= 0 && mate[j] != -2) {
-                continue;
-            }
-            mate[first] = j;
-            if (j >= 0) {
-                mate[j] = first;
-            }
-            expanded = true;
-            recurse(weight + w);
-            mate[first] = -2;
-            if (j >= 0) {
-                mate[j] = -2;
-            }
-            if (hitBudget) {
-                // Out of budget mid-expansion: finish this branch
-                // greedily so we always return some matching.
-                mate[first] = j;
-                if (j >= 0) {
-                    mate[j] = first;
-                }
-                greedyComplete(weight + w);
-                mate[first] = -2;
-                if (j >= 0) {
-                    mate[j] = -2;
-                }
-                return;
-            }
-        }
-        if (!expanded) {
-            return; // No options for this defect: dead branch.
-        }
-    }
-
-    const MatchingProblem &problem_;
-    long long budget_;
-    bool useBound;
-    std::vector<int> mate;
-    std::vector<int> bestMate;
-    std::vector<std::vector<std::pair<double, int>>> options;
-    std::vector<double> minOption;
-    double best = kNoEdge;
-    long long states = 0;
-    bool hitBudget = false;
-};
-
-} // namespace
-
 DecodeResult
 AstreaGDecoder::decode(std::span<const uint32_t> defects,
+                       DecodeWorkspace &workspace,
                        DecodeTrace *trace)
 {
     if (trace) {
@@ -201,7 +27,8 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
         return result;
     }
 
-    DefectGraph dg = buildDefectGraph(defects, paths_);
+    DefectGraph &dg = workspace.defectGraph;
+    buildDefectGraphInto(defects, paths_, dg);
 
     // Prune pair edges whose chain probability is below the LER
     // scale; boundary edges always survive so a matching exists.
@@ -216,10 +43,10 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
         }
     }
 
-    NearExhaustiveSearch search(dg.problem,
-                                latency_.astreaGSearchBudget,
-                                latency_.astreaGUseBound);
-    const MatchingSolution solution = search.run();
+    NearExhaustiveSolver &search = workspace.nearExhaustive;
+    MatchingSolution &solution = workspace.solution;
+    search.solve(dg.problem, latency_.astreaGSearchBudget,
+                 latency_.astreaGUseBound, solution);
     if (trace) {
         trace->searchStates = search.statesExplored();
         trace->searchTruncated = search.truncated();
@@ -236,7 +63,10 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
         latency_.astreaFixedCycles;
     result.latencyNs = static_cast<double>(cycles) *
                        latency_.nsPerCycle;
-    result.chainLengths = dg.chainLengths(paths_, solution);
+    if (trace) {
+        dg.chainLengthsInto(paths_, solution,
+                            trace->chainLengths);
+    }
     return result;
 }
 

@@ -1,9 +1,49 @@
 #include "qec/decoders/decoder.hpp"
 
+#include "qec/decoders/workspace.hpp"
 #include "qec/util/parallel_for.hpp"
 
 namespace qec
 {
+
+// Out of line: DecodeWorkspace is only forward-declared in the
+// header, so the unique_ptr needs the full type here.
+Decoder::Decoder(const DecodingGraph &graph,
+                 const PathTable &paths)
+    : graph_(graph), paths_(paths)
+{
+}
+
+Decoder::~Decoder() = default;
+
+DecodeWorkspace &
+Decoder::internalWorkspace()
+{
+    if (!workspace_) {
+        workspace_ = std::make_unique<DecodeWorkspace>();
+    }
+    return *workspace_;
+}
+
+DecodeResult
+Decoder::decode(std::span<const uint32_t> defects,
+                DecodeTrace *trace)
+{
+    return decode(defects, internalWorkspace(), trace);
+}
+
+WorkerDecoders::WorkerDecoders(Decoder &source, int workers)
+    : source_(source),
+      sourceWorkspace_(source.internalWorkspace())
+{
+    for (int w = 1; w < workers; ++w) {
+        clones_.push_back(source.clone());
+        workspaces_.push_back(
+            std::make_unique<DecodeWorkspace>());
+    }
+}
+
+WorkerDecoders::~WorkerDecoders() = default;
 
 std::vector<DecodeResult>
 Decoder::decodeBatch(const std::vector<std::vector<uint32_t>> &batch,
@@ -13,11 +53,11 @@ Decoder::decodeBatch(const std::vector<std::vector<uint32_t>> &batch,
     if (traces) {
         traces->assign(batch.size(), DecodeTrace{});
     }
-    // Each worker decodes a contiguous slice on its own engine
-    // (slice 0, which parallelFor runs on the calling thread,
-    // reuses this instance; see WorkerDecoders), so no mutable
-    // decoder state is shared and results land at the same indices
-    // as their syndromes — bit-identical to a serial run.
+    // Each worker decodes on its own engine and workspace (worker
+    // 0, which parallelFor runs on the calling thread, reuses this
+    // instance; see WorkerDecoders), so no mutable decoder state is
+    // shared and results land at the same indices as their
+    // syndromes — bit-identical to a serial run.
     const WorkerDecoders engines(
         *this, parallelWorkers(batch.size(), threads));
     parallelFor(
@@ -25,9 +65,12 @@ Decoder::decodeBatch(const std::vector<std::vector<uint32_t>> &batch,
         [&batch, &results, traces,
          &engines](size_t begin, size_t end, int worker) {
             Decoder *engine = engines.engine(worker);
+            DecodeWorkspace &workspace =
+                engines.workspace(worker);
             for (size_t i = begin; i < end; ++i) {
                 results[i] = engine->decode(
-                    batch[i], traces ? &(*traces)[i] : nullptr);
+                    batch[i], workspace,
+                    traces ? &(*traces)[i] : nullptr);
             }
         });
     return results;

@@ -8,14 +8,23 @@
  * budget marks the result aborted, which the harness counts as a
  * logical error (§6.4 of the paper).
  *
+ * Memory contract: the hot `decode()` overload borrows a caller-owned
+ * DecodeWorkspace holding every per-decode scratch structure; a warm
+ * workspace makes steady-state decoding allocation-free. The
+ * workspace-less overload decodes on a lazily created internal
+ * workspace, preserving the historical API (and the same
+ * steady-state property). DecodeResult itself is plain data — the
+ * error-chain lengths that used to ride on it live in DecodeTrace
+ * now, computed only when a trace is requested.
+ *
  * Thread-safety contract: `decode()` keeps no per-call state on the
  * decoder — all per-decode introspection is written into the
- * caller-owned DecodeTrace out-parameter. One decoder instance must
- * not be shared between threads (implementations may keep scratch
- * buffers), but `clone()` produces an independent, identically
- * configured instance, and the default `decodeBatch()` uses clones
- * to fan a batch of syndromes across worker threads with results
- * identical to a serial run.
+ * caller-owned DecodeTrace out-parameter. One decoder instance (or
+ * workspace) must not be shared between threads, but `clone()`
+ * produces an independent, identically configured instance, and the
+ * default `decodeBatch()` uses clones — each with its own
+ * workspace — to fan a batch of syndromes across worker threads
+ * with results identical to a serial run.
  *
  * Decoder stacks are described by a DecoderSpec and constructed
  * through the component registry — see qec/api/decoder_spec.hpp and
@@ -38,6 +47,8 @@
 namespace qec
 {
 
+struct DecodeWorkspace;
+
 /** Which Promatch algorithm steps a syndrome exercised (Table 6). */
 struct StepUsage
 {
@@ -58,7 +69,10 @@ struct StepUsage
     }
 };
 
-/** Outcome of decoding one syndrome. */
+/**
+ * Outcome of decoding one syndrome. Plain data (trivially
+ * copyable): returning or storing one never touches the heap.
+ */
 struct DecodeResult
 {
     /** Predicted observable flips (bit o = observable o). */
@@ -71,8 +85,6 @@ struct DecodeResult
     bool aborted = false;
     /** False for software (non-real-time) decoders. */
     bool realTime = true;
-    /** Error-chain lengths of the final matching (Fig. 5 stats). */
-    std::vector<int> chainLengths;
 };
 
 /**
@@ -99,6 +111,10 @@ struct DecodeTrace
     // --- Search decoders (Astrea-G).
     long long searchStates = 0;
     bool searchTruncated = false;
+    // --- Matching decoders (MWPM, Astrea, Astrea-G).
+    // Error-chain lengths of the final matching (Fig. 5 stats);
+    // composite stacks hoist the winning child's lengths here.
+    std::vector<int> chainLengths;
     // --- Correction-extracting decoders (UnionFind).
     std::vector<uint32_t> correctionEdges;
     // --- Sub-decoder traces of composite stacks, in child order.
@@ -122,6 +138,7 @@ struct DecodeTrace
         parallelWinner = -1;
         searchStates = 0;
         searchTruncated = false;
+        chainLengths.clear();
         correctionEdges.clear();
         children.clear();
     }
@@ -131,28 +148,42 @@ struct DecodeTrace
 class Decoder
 {
   public:
-    Decoder(const DecodingGraph &graph, const PathTable &paths)
-        : graph_(graph), paths_(paths)
-    {
-    }
-    virtual ~Decoder() = default;
+    // Out of line: the workspace_ member's deleter needs the full
+    // DecodeWorkspace type (see decoder.cpp).
+    Decoder(const DecodingGraph &graph, const PathTable &paths);
+    virtual ~Decoder();
 
     /**
-     * Decode one syndrome given as sorted flipped-detector indices.
+     * Decode one syndrome given as sorted flipped-detector indices,
+     * borrowing the caller's workspace for all scratch state.
      *
-     * @param defects  sorted flipped-detector indices
-     * @param trace    optional caller-owned introspection sink; the
-     *                 decoder resets and fills it. nullptr skips all
-     *                 trace bookkeeping.
+     * @param defects    sorted flipped-detector indices
+     * @param workspace  caller-owned scratch; reusing one (warm)
+     *                   workspace across calls makes steady-state
+     *                   decoding allocation-free. Must not be
+     *                   shared between threads.
+     * @param trace      optional caller-owned introspection sink;
+     *                   the decoder resets and fills it. nullptr
+     *                   skips all trace bookkeeping (including
+     *                   chain-length extraction).
      */
     virtual DecodeResult decode(std::span<const uint32_t> defects,
+                                DecodeWorkspace &workspace,
                                 DecodeTrace *trace = nullptr) = 0;
 
     /**
+     * Historical workspace-less overload: decodes on this
+     * instance's lazily created internal workspace. Equivalent to
+     * (and bit-identical with) the workspace overload.
+     */
+    DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeTrace *trace = nullptr);
+
+    /**
      * Independent copy with identical configuration, bound to the
-     * same graph/path tables. Clones share no mutable state with the
-     * original, so each thread of a batched harness can decode on
-     * its own clone.
+     * same graph/path tables. Clones share no mutable state with
+     * the original (internal workspaces included), so each thread
+     * of a batched harness can decode on its own clone.
      */
     virtual std::unique_ptr<Decoder> clone() const = 0;
 
@@ -160,11 +191,12 @@ class Decoder
      * Decode a batch of syndromes, optionally across threads.
      *
      * The default implementation decodes in order on this instance
-     * when one worker suffices, and otherwise fans contiguous
-     * slices of the batch across worker threads, each working on
-     * its own clone() (slice 0 runs on the calling thread with
-     * this instance). Results and traces land at the same indices
-     * as their syndromes and are bit-identical to a serial run.
+     * when one worker suffices, and otherwise fans chunks of the
+     * batch across worker threads, each working on its own clone()
+     * and per-worker workspace (worker 0 runs on the calling
+     * thread with this instance). Results and traces land at the
+     * same indices as their syndromes and are bit-identical to a
+     * serial run for any thread count.
      *
      * @param batch    syndromes (each sorted)
      * @param traces   optional per-syndrome traces, resized to match
@@ -183,28 +215,36 @@ class Decoder
     const DecodingGraph &graph() const { return graph_; }
     const PathTable &paths() const { return paths_; }
 
+    /**
+     * This instance's internal workspace, created on first use.
+     * Exposed so harness code that decodes through the historical
+     * overload can still inspect or pre-warm it.
+     */
+    DecodeWorkspace &internalWorkspace();
+
   protected:
     const DecodingGraph &graph_;
     const PathTable &paths_;
+
+  private:
+    std::unique_ptr<DecodeWorkspace> workspace_;
 };
 
 /**
- * Per-worker decoder engines for a deterministic fork/join region:
- * worker 0 decodes on the source instance (the calling thread's
- * slice), workers 1..W-1 on clones. Clones are created serially in
- * the constructor — the Decoder contract does not promise clone()
- * is safe while another thread decodes on the source — and shared
- * by decodeBatch, estimateLer, and estimateLerDirect.
+ * Per-worker decoder engines (plus scratch workspaces) for a
+ * deterministic fork/join region: worker 0 decodes on the source
+ * instance (the calling thread's slice), workers 1..W-1 on clones.
+ * Clones are created serially in the constructor — the Decoder
+ * contract does not promise clone() is safe while another thread
+ * decodes on the source — and shared by decodeBatch, estimateLer,
+ * and estimateLerDirect. Each worker gets its own DecodeWorkspace,
+ * reused across every syndrome that worker decodes.
  */
 class WorkerDecoders
 {
   public:
-    WorkerDecoders(Decoder &source, int workers) : source_(source)
-    {
-        for (int w = 1; w < workers; ++w) {
-            clones_.push_back(source.clone());
-        }
-    }
+    WorkerDecoders(Decoder &source, int workers);
+    ~WorkerDecoders();
 
     /** The engine worker `worker` must decode on. */
     Decoder *
@@ -214,9 +254,24 @@ class WorkerDecoders
                            : clones_[worker - 1].get();
     }
 
+    /**
+     * The scratch workspace owned by worker `worker`. Worker 0
+     * reuses the source decoder's internal workspace, so repeated
+     * fork/join regions over the same decoder stay warm instead of
+     * re-warming a fresh workspace every call.
+     */
+    DecodeWorkspace &
+    workspace(int worker) const
+    {
+        return worker == 0 ? sourceWorkspace_
+                           : *workspaces_[worker - 1];
+    }
+
   private:
     Decoder &source_;
+    DecodeWorkspace &sourceWorkspace_;
     std::vector<std::unique_ptr<Decoder>> clones_;
+    std::vector<std::unique_ptr<DecodeWorkspace>> workspaces_;
 };
 
 } // namespace qec

@@ -1,7 +1,7 @@
 #include "qec/decoders/mwpm_decoder.hpp"
 
 #include "qec/api/registry.hpp"
-#include "qec/matching/blossom.hpp"
+#include "qec/decoders/workspace.hpp"
 #include "qec/matching/defect_graph.hpp"
 
 namespace qec
@@ -9,7 +9,7 @@ namespace qec
 
 DecodeResult
 MwpmDecoder::decode(std::span<const uint32_t> defects,
-                    DecodeTrace *trace)
+                    DecodeWorkspace &workspace, DecodeTrace *trace)
 {
     if (trace) {
         trace->reset();
@@ -20,15 +20,20 @@ MwpmDecoder::decode(std::span<const uint32_t> defects,
     if (defects.empty()) {
         return result;
     }
-    const DefectGraph dg = buildDefectGraph(defects, paths_);
-    const MatchingSolution solution = solveBlossom(dg.problem);
+    DefectGraph &dg = workspace.defectGraph;
+    buildDefectGraphInto(defects, paths_, dg);
+    MatchingSolution &solution = workspace.solution;
+    workspace.blossom.solve(dg.problem, solution);
     if (!solution.valid) {
         result.aborted = true;
         return result;
     }
     result.predictedObs = dg.solutionObs(paths_, solution);
     result.weight = solution.totalWeight;
-    result.chainLengths = dg.chainLengths(paths_, solution);
+    if (trace) {
+        dg.chainLengthsInto(paths_, solution,
+                            trace->chainLengths);
+    }
     return result;
 }
 

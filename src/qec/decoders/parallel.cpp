@@ -7,16 +7,22 @@ namespace qec
 
 DecodeResult
 ParallelDecoder::decode(std::span<const uint32_t> defects,
+                        DecodeWorkspace &workspace,
                         DecodeTrace *trace)
 {
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());
     }
+    // The sides run sequentially on the shared workspace; each
+    // result is plain data, fully extracted before the other side
+    // reuses the scratch.
     DecodeResult ra = a->decode(
-        defects, trace ? &trace->children.emplace_back() : nullptr);
+        defects, workspace,
+        trace ? &trace->children.emplace_back() : nullptr);
     DecodeResult rb = b->decode(
-        defects, trace ? &trace->children.emplace_back() : nullptr);
+        defects, workspace,
+        trace ? &trace->children.emplace_back() : nullptr);
 
     const double compare_ns =
         latency_.compareCycles * latency_.nsPerCycle;
@@ -38,19 +44,21 @@ ParallelDecoder::decode(std::span<const uint32_t> defects,
     }
     if (ra.aborted) {
         winner = 1;
-        result = std::move(rb);
+        result = rb;
     } else if (rb.aborted) {
         winner = 0;
-        result = std::move(ra);
+        result = ra;
     } else if (ra.weight <= rb.weight) {
         winner = 0;
-        result = std::move(ra);
+        result = ra;
     } else {
         winner = 1;
-        result = std::move(rb);
+        result = rb;
     }
     if (trace) {
         trace->parallelWinner = winner;
+        trace->chainLengths = std::move(
+            trace->children[winner].chainLengths);
     }
     result.latencyNs = latency;
     if (latency > latency_.budgetNs) {

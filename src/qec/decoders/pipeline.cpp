@@ -1,10 +1,15 @@
 #include "qec/decoders/pipeline.hpp"
 
+#include <algorithm>
+
+#include "qec/decoders/workspace.hpp"
+
 namespace qec
 {
 
 DecodeResult
 PredecodedDecoder::decode(std::span<const uint32_t> defects,
+                          DecodeWorkspace &workspace,
                           DecodeTrace *trace)
 {
     if (trace) {
@@ -15,11 +20,13 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
     // Low-HW syndromes skip the predecoder entirely (§3).
     if (static_cast<int>(defects.size()) <= latency_.astreaMaxHw) {
         DecodeResult result = main_->decode(
-            defects,
+            defects, workspace,
             trace ? &trace->children.emplace_back() : nullptr);
         if (trace) {
             trace->hwAfter = trace->hwBefore;
             trace->mainNs = result.latencyNs;
+            trace->chainLengths = std::move(
+                trace->children.back().chainLengths);
         }
         if (result.latencyNs > latency_.effectiveBudgetNs()) {
             result.aborted = true;
@@ -29,8 +36,11 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
 
     const long long budget_cycles = static_cast<long long>(
         latency_.effectiveBudgetNs() / latency_.nsPerCycle);
-    PredecodeResult pre_result =
-        pre->predecode(defects, budget_cycles);
+    // The predecoder writes into the workspace-owned handoff slot;
+    // its residual must stay untouched through the nested main
+    // decode below (main decoders never write predecodeResult).
+    PredecodeResult &pre_result = workspace.predecodeResult;
+    pre->predecode(defects, budget_cycles, workspace, pre_result);
     const double predecode_ns =
         static_cast<double>(pre_result.cycles) * latency_.nsPerCycle;
     if (trace) {
@@ -58,9 +68,12 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
     }
 
     DecodeResult main_result = main_->decode(
-        handoff, trace ? &trace->children.emplace_back() : nullptr);
+        handoff, workspace,
+        trace ? &trace->children.emplace_back() : nullptr);
     if (trace) {
         trace->mainNs = main_result.latencyNs;
+        trace->chainLengths =
+            std::move(trace->children.back().chainLengths);
     }
 
     result.predictedObs =
@@ -77,7 +90,6 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
     }
     result.aborted = main_result.aborted ||
                      result.latencyNs > latency_.effectiveBudgetNs();
-    result.chainLengths = std::move(main_result.chainLengths);
     return result;
 }
 

@@ -1,7 +1,6 @@
 #include "qec/decoders/union_find.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "qec/api/registry.hpp"
 #include "qec/util/assert.hpp"
@@ -9,25 +8,37 @@
 namespace qec
 {
 
-namespace
+/**
+ * Reusable per-decode state. Every vector is assign()ed to its
+ * fixed, graph-derived size at the top of decode, so after the
+ * first decode no buffer ever reallocates.
+ */
+struct UnionFindDecoder::Scratch
 {
+    // --- Disjoint-set forest with parity (defect count mod 2) and
+    // boundary-contact tracking per cluster root. Slot n is the
+    // virtual boundary vertex: contact with it neutralizes any
+    // cluster.
+    std::vector<uint32_t> parent;
+    std::vector<uint8_t> odd;
+    std::vector<uint8_t> touchesBoundary;
+    uint32_t boundaryVertex = 0;
 
-/** Disjoint-set forest with parity (defect count mod 2) and
- *  boundary-contact tracking per cluster root. */
-class ClusterSets
-{
-  public:
-    explicit ClusterSets(uint32_t n)
-        : parent(n + 1), odd(n + 1, false), touchesBoundary(n + 1)
-    {
-        for (uint32_t i = 0; i <= n; ++i) {
-            parent[i] = i;
-        }
-        // The last slot is the virtual boundary vertex: contact with
-        // it neutralizes any cluster.
-        touchesBoundary[n] = true;
-        boundaryVertex = n;
-    }
+    // --- Growth stage.
+    std::vector<uint8_t> growth;    //!< 0..2 halves per edge.
+    std::vector<uint8_t> inSupport; //!< Per detector.
+    std::vector<uint32_t> newlyFull;
+
+    // --- Peeling stage.
+    std::vector<int> parentEdge, parentVertex;
+    std::vector<uint8_t> visited, flagged;
+    std::vector<uint32_t> order;
+    std::vector<int> boundaryRootEdge;
+    // Adjacency restricted to grown edges, CSR over detectors.
+    std::vector<int32_t> grownOffset, grownCursor;
+    std::vector<uint32_t> grownEdge;
+    std::vector<uint32_t> queue; //!< BFS ring (head index below).
+    std::vector<uint32_t> correction;
 
     uint32_t
     find(uint32_t x)
@@ -66,17 +77,25 @@ class ClusterSets
         const uint32_t r = find(x);
         odd[r] = !odd[r];
     }
-
-    uint32_t boundaryVertex;
-    std::vector<uint32_t> parent;
-    std::vector<bool> odd;
-    std::vector<bool> touchesBoundary;
 };
 
-} // namespace
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph,
+                                   const PathTable &paths)
+    : Decoder(graph, paths)
+{
+}
+
+UnionFindDecoder::~UnionFindDecoder() = default;
+
+std::unique_ptr<Decoder>
+UnionFindDecoder::clone() const
+{
+    return std::make_unique<UnionFindDecoder>(graph_, paths_);
+}
 
 DecodeResult
 UnionFindDecoder::decode(std::span<const uint32_t> defects,
+                         DecodeWorkspace & /*workspace*/,
                          DecodeTrace *trace)
 {
     if (trace) {
@@ -84,28 +103,36 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
         trace->hwBefore = static_cast<int>(defects.size());
     }
     DecodeResult result;
-    std::vector<uint32_t> &correction = correction_;
-    correction.clear();
+    if (!scratch_) {
+        scratch_ = std::make_unique<Scratch>();
+    }
+    Scratch &s = *scratch_;
+    s.correction.clear();
     if (defects.empty()) {
         return result;
     }
 
     const uint32_t n = graph_.numDetectors();
-    ClusterSets clusters(n);
-    std::vector<bool> is_defect(n, false);
+    s.parent.assign(n + 1, 0);
+    for (uint32_t i = 0; i <= n; ++i) {
+        s.parent[i] = i;
+    }
+    s.odd.assign(n + 1, 0);
+    s.touchesBoundary.assign(n + 1, 0);
+    s.touchesBoundary[n] = 1;
+    s.boundaryVertex = n;
     for (uint32_t d : defects) {
-        is_defect[d] = true;
-        clusters.markDefect(d);
+        s.markDefect(d);
     }
 
     // --- Growth. Each edge has growth 0..2 halves; an edge becomes
     // part of the cluster support when fully grown. Odd clusters grow
     // all edges incident to their current vertex set each round.
     const auto &edges = graph_.edges();
-    std::vector<uint8_t> growth(edges.size(), 0);
-    std::vector<bool> in_support(n, false);
+    s.growth.assign(edges.size(), 0);
+    s.inSupport.assign(n, 0);
     for (uint32_t d : defects) {
-        in_support[d] = true;
+        s.inSupport[d] = 1;
     }
 
     bool any_active = true;
@@ -113,37 +140,37 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     while (any_active) {
         QEC_ASSERT(++guard < 10000, "union-find growth diverged");
         any_active = false;
-        std::vector<uint32_t> newly_full;
+        s.newlyFull.clear();
         for (uint32_t eid = 0; eid < edges.size(); ++eid) {
-            if (growth[eid] >= 2) {
+            if (s.growth[eid] >= 2) {
                 continue;
             }
             const GraphEdge &edge = edges[eid];
             const bool u_active =
-                in_support[edge.u] && clusters.isActive(edge.u);
+                s.inSupport[edge.u] && s.isActive(edge.u);
             const bool v_active = edge.v != kBoundary &&
-                                  in_support[edge.v] &&
-                                  clusters.isActive(edge.v);
+                                  s.inSupport[edge.v] &&
+                                  s.isActive(edge.v);
             if (!u_active && !v_active) {
                 continue;
             }
             any_active = true;
-            growth[eid] += (u_active && v_active) ? 2 : 1;
-            if (growth[eid] >= 2) {
-                growth[eid] = 2;
-                newly_full.push_back(eid);
+            s.growth[eid] += (u_active && v_active) ? 2 : 1;
+            if (s.growth[eid] >= 2) {
+                s.growth[eid] = 2;
+                s.newlyFull.push_back(eid);
             }
         }
-        for (uint32_t eid : newly_full) {
+        for (uint32_t eid : s.newlyFull) {
             const GraphEdge &edge = edges[eid];
             const uint32_t v = (edge.v == kBoundary)
-                                   ? clusters.boundaryVertex
+                                   ? s.boundaryVertex
                                    : edge.v;
             if (edge.v != kBoundary) {
-                in_support[edge.v] = true;
+                s.inSupport[edge.v] = 1;
             }
-            in_support[edge.u] = true;
-            clusters.unite(edge.u, v);
+            s.inSupport[edge.u] = 1;
+            s.unite(edge.u, v);
         }
         if (!any_active) {
             break;
@@ -151,7 +178,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
         // Re-check: if all clusters went neutral we are done.
         any_active = false;
         for (uint32_t d : defects) {
-            if (clusters.isActive(d)) {
+            if (s.isActive(d)) {
                 any_active = true;
                 break;
             }
@@ -162,88 +189,108 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     // rooting each tree at the boundary when available, then peel
     // leaves upward: a vertex with an unresolved defect toggles the
     // edge to its parent into the correction.
-    std::vector<int> parent_edge(n, -1);
-    std::vector<int> parent_vertex(n, -1);
-    std::vector<bool> visited(n, false);
-    std::vector<uint32_t> order;
+    s.parentEdge.assign(n, -1);
+    s.parentVertex.assign(n, -1);
+    s.visited.assign(n, 0);
+    s.order.clear();
 
-    // Adjacency restricted to grown edges.
-    std::vector<std::vector<uint32_t>> grown_adj(n);
-    std::vector<int> boundary_root_edge(n, -1);
+    // Adjacency restricted to grown edges (CSR, filled in edge-id
+    // order so BFS neighbor order matches a per-vertex push_back).
+    s.grownOffset.assign(n + 1, 0);
+    s.boundaryRootEdge.assign(n, -1);
     for (uint32_t eid = 0; eid < edges.size(); ++eid) {
-        if (growth[eid] < 2) {
+        if (s.growth[eid] < 2) {
             continue;
         }
         const GraphEdge &edge = edges[eid];
         if (edge.v == kBoundary) {
-            boundary_root_edge[edge.u] = static_cast<int>(eid);
+            s.boundaryRootEdge[edge.u] = static_cast<int>(eid);
         } else {
-            grown_adj[edge.u].push_back(eid);
-            grown_adj[edge.v].push_back(eid);
+            ++s.grownOffset[edge.u + 1];
+            ++s.grownOffset[edge.v + 1];
+        }
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+        s.grownOffset[v + 1] += s.grownOffset[v];
+    }
+    s.grownEdge.assign(s.grownOffset[n], 0);
+    s.grownCursor.assign(s.grownOffset.begin(),
+                         s.grownOffset.end() - 1);
+    for (uint32_t eid = 0; eid < edges.size(); ++eid) {
+        if (s.growth[eid] < 2) {
+            continue;
+        }
+        const GraphEdge &edge = edges[eid];
+        if (edge.v != kBoundary) {
+            s.grownEdge[s.grownCursor[edge.u]++] = eid;
+            s.grownEdge[s.grownCursor[edge.v]++] = eid;
         }
     }
 
     // BFS from boundary-attached vertices first (their trees can dump
     // parity into the boundary), then from arbitrary roots.
-    std::queue<uint32_t> queue;
+    s.queue.clear();
     auto bfs_from = [&](uint32_t root) {
-        visited[root] = true;
-        queue.push(root);
-        while (!queue.empty()) {
-            const uint32_t u = queue.front();
-            queue.pop();
-            order.push_back(u);
-            for (uint32_t eid : grown_adj[u]) {
+        size_t head = s.queue.size();
+        s.visited[root] = 1;
+        s.queue.push_back(root);
+        while (head < s.queue.size()) {
+            const uint32_t u = s.queue[head++];
+            s.order.push_back(u);
+            for (int32_t o = s.grownOffset[u];
+                 o < s.grownOffset[u + 1]; ++o) {
+                const uint32_t eid = s.grownEdge[o];
                 const GraphEdge &edge = edges[eid];
                 const uint32_t w =
                     (edge.u == u) ? edge.v : edge.u;
-                if (!visited[w]) {
-                    visited[w] = true;
-                    parent_edge[w] = static_cast<int>(eid);
-                    parent_vertex[w] = static_cast<int>(u);
-                    queue.push(w);
+                if (!s.visited[w]) {
+                    s.visited[w] = 1;
+                    s.parentEdge[w] = static_cast<int>(eid);
+                    s.parentVertex[w] = static_cast<int>(u);
+                    s.queue.push_back(w);
                 }
             }
         }
     };
     for (uint32_t v = 0; v < n; ++v) {
-        if (boundary_root_edge[v] >= 0 && !visited[v]) {
+        if (s.boundaryRootEdge[v] >= 0 && !s.visited[v]) {
             bfs_from(v);
         }
     }
     for (uint32_t d : defects) {
-        if (!visited[d]) {
+        if (!s.visited[d]) {
             bfs_from(d);
         }
     }
 
     // Peel in reverse BFS order.
-    std::vector<bool> flagged(n, false);
+    s.flagged.assign(n, 0);
     for (uint32_t d : defects) {
-        flagged[d] = true;
+        s.flagged[d] = 1;
     }
     uint64_t obs = 0;
     double weight = 0.0;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
         const uint32_t u = *it;
-        if (!flagged[u]) {
+        if (!s.flagged[u]) {
             continue;
         }
-        if (parent_edge[u] >= 0) {
-            const GraphEdge &edge = edges[parent_edge[u]];
-            correction.push_back(edge.id);
+        if (s.parentEdge[u] >= 0) {
+            const GraphEdge &edge = edges[s.parentEdge[u]];
+            s.correction.push_back(edge.id);
             obs ^= edge.obsMask;
             weight += edge.weight;
-            flagged[u] = false;
+            s.flagged[u] = 0;
             const uint32_t p =
-                static_cast<uint32_t>(parent_vertex[u]);
-            flagged[p] = !flagged[p];
-        } else if (boundary_root_edge[u] >= 0) {
-            const GraphEdge &edge = edges[boundary_root_edge[u]];
-            correction.push_back(edge.id);
+                static_cast<uint32_t>(s.parentVertex[u]);
+            s.flagged[p] = !s.flagged[p];
+        } else if (s.boundaryRootEdge[u] >= 0) {
+            const GraphEdge &edge =
+                edges[s.boundaryRootEdge[u]];
+            s.correction.push_back(edge.id);
             obs ^= edge.obsMask;
             weight += edge.weight;
-            flagged[u] = false;
+            s.flagged[u] = 0;
         } else {
             // A root with unresolved parity and no boundary: the
             // growth stage guarantees this cannot happen.
@@ -259,7 +306,8 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     result.latencyNs = 420.0;
     if (trace) {
         // Copy (not move) so the scratch keeps its capacity.
-        trace->correctionEdges = correction;
+        trace->correctionEdges.assign(s.correction.begin(),
+                                      s.correction.end());
     }
     return result;
 }

@@ -9,6 +9,12 @@
  * extract the correction. Growth is unweighted (uniform), which is
  * exactly what makes union-find less accurate than MWPM at the
  * near-term p = 1e-4 regime the paper evaluates (§7.2).
+ *
+ * All per-decode state (cluster forest, growth table, spanning
+ * forest, peeling flags) lives in a decoder-owned scratch block
+ * sized to the decoding graph and reused across decodes, so a warm
+ * instance decodes without heap allocation. Clones get their own
+ * scratch, keeping the per-thread contract.
  */
 
 #ifndef QEC_DECODERS_UNION_FIND_HPP
@@ -23,26 +29,32 @@ namespace qec
 class UnionFindDecoder : public Decoder
 {
   public:
-    using Decoder::Decoder;
+    // Out of line: the scratch_ member's deleter needs the full
+    // Scratch type (see union_find.cpp).
+    UnionFindDecoder(const DecodingGraph &graph,
+                     const PathTable &paths);
+    ~UnionFindDecoder() override;
 
     /**
      * Decode; the chosen correction-edge ids land in
      * DecodeTrace::correctionEdges (for validity checks in tests).
+     * Uses decoder-owned scratch; the workspace is passed through
+     * for interface uniformity only.
      */
+    using Decoder::decode;
     DecodeResult decode(std::span<const uint32_t> defects,
+                        DecodeWorkspace &workspace,
                         DecodeTrace *trace = nullptr) override;
 
-    std::unique_ptr<Decoder>
-    clone() const override
-    {
-        return std::make_unique<UnionFindDecoder>(graph_, paths_);
-    }
+    std::unique_ptr<Decoder> clone() const override;
 
     std::string name() const override { return "UnionFind"; }
 
   private:
-    /** Scratch reused across decodes (capacity only, no state). */
-    std::vector<uint32_t> correction_;
+    /** Per-decode scratch, lazily sized to the decoding graph and
+     *  reused across decodes (defined in union_find.cpp). */
+    struct Scratch;
+    std::unique_ptr<Scratch> scratch_;
 };
 
 } // namespace qec

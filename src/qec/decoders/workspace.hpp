@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The reusable scratch workspace of the decode hot path.
+ *
+ * Every per-decode data structure that used to be rebuilt on the
+ * heap for each syndrome — the predecoder's defect subgraph, the
+ * matching layer's defect graph and solver state, the pipeline's
+ * residual handoff — lives here instead, owned by the caller and
+ * borrowed by `Decoder::decode` / `Predecoder::predecode`. All
+ * members reuse their capacity across decodes, so a warm workspace
+ * makes steady-state decoding allocation-free (enforced by the
+ * counting-allocator suite in tests/test_workspace.cpp).
+ *
+ * Ownership and aliasing contract:
+ *  - One workspace per thread: a workspace must never be used by
+ *    two threads at once. The batched harness allocates one per
+ *    worker (see WorkerDecoders); decoders also keep a lazily
+ *    created internal workspace so the workspace-less `decode()`
+ *    overload keeps working (and stays allocation-free too, since
+ *    clones — one per worker — never share it).
+ *  - Composite decoders pass the *same* workspace down to their
+ *    children; the members are used strictly sequentially (the
+ *    predecoder finishes with `subgraph` before the main decoder
+ *    touches `defectGraph`), and only `predecodeResult.residual`
+ *    must survive a nested decode (the pipeline's handoff — main
+ *    decoders must not write `predecodeResult`).
+ *  - `arena` is for transients that die before the owning
+ *    component returns: a component may reset() it at the top of
+ *    its own decode/predecode step, and must not hold arena spans
+ *    across a call into another component.
+ *
+ * See docs/api.md ("Workspace & memory contract") for the narrative
+ * version.
+ */
+
+#ifndef QEC_DECODERS_WORKSPACE_HPP
+#define QEC_DECODERS_WORKSPACE_HPP
+
+#include "qec/matching/blossom.hpp"
+#include "qec/matching/defect_graph.hpp"
+#include "qec/matching/exhaustive.hpp"
+#include "qec/matching/near_exhaustive.hpp"
+#include "qec/predecode/predecoder.hpp"
+#include "qec/predecode/syndrome_subgraph.hpp"
+#include "qec/util/arena.hpp"
+
+namespace qec
+{
+
+/** Caller-owned scratch arena for one decode stack on one thread. */
+struct DecodeWorkspace
+{
+    /** Bump storage for per-decode transients (see file comment). */
+    MonotonicArena arena;
+    /** Predecode layer: the defect subgraph, rebuilt in place. */
+    SyndromeSubgraph subgraph;
+    /** Pipeline handoff: the predecoder's output, incl. residual. */
+    PredecodeResult predecodeResult;
+    /** Matching layer: the complete defect graph of a syndrome. */
+    DefectGraph defectGraph;
+    /** Matching layer: the solution slot shared by all solvers. */
+    MatchingSolution solution;
+    /** Reusable exact blossom engine (MWPM decoder). */
+    BlossomSolver blossom;
+    /** Reusable brute-force engine (Astrea model). */
+    ExhaustiveSolver exhaustive;
+    /** Reusable budgeted branch-and-bound engine (Astrea-G). */
+    NearExhaustiveSolver nearExhaustive;
+};
+
+} // namespace qec
+
+#endif // QEC_DECODERS_WORKSPACE_HPP

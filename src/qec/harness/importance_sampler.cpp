@@ -34,17 +34,18 @@ ImportanceSampler::ImportanceSampler(const DetectorErrorModel &dem,
     }
 }
 
-ImportanceSampler::Sample
-ImportanceSampler::sample(int k, Rng &rng) const
+void
+ImportanceSampler::sample(int k, Rng &rng, Sample &out) const
 {
     QEC_ASSERT(k >= 1 && k <= kMax_, "k out of range");
     const auto &mechanisms = dem_.mechanisms();
     const double total = cumulative.back();
+    out.obsMask = 0;
 
     // Draw k distinct mechanisms, weight-proportionally, by
     // rejection on duplicates (k << M so collisions are rare).
-    std::vector<uint32_t> chosen;
-    chosen.reserve(k);
+    std::vector<uint32_t> &chosen = out.chosen;
+    chosen.clear();
     int guard = 0;
     while (static_cast<int>(chosen.size()) < k) {
         QEC_ASSERT(++guard < 100000,
@@ -61,25 +62,36 @@ ImportanceSampler::sample(int k, Rng &rng) const
         }
     }
 
-    // XOR together the symptoms of the chosen mechanisms.
-    Sample out;
-    std::vector<uint32_t> flips;
+    // XOR together the symptoms of the chosen mechanisms:
+    // concatenate, sort, and collapse odd-parity runs in place
+    // (defects doubles as the flip buffer — no transient vector).
+    std::vector<uint32_t> &flips = out.defects;
+    flips.clear();
     for (uint32_t idx : chosen) {
         const DemMechanism &m = mechanisms[idx];
         flips.insert(flips.end(), m.dets.begin(), m.dets.end());
         out.obsMask ^= m.obsMask;
     }
     std::sort(flips.begin(), flips.end());
+    size_t write = 0;
     for (size_t i = 0; i < flips.size();) {
         size_t j = i;
         while (j < flips.size() && flips[j] == flips[i]) {
             ++j;
         }
         if ((j - i) % 2) {
-            out.defects.push_back(flips[i]);
+            flips[write++] = flips[i];
         }
         i = j;
     }
+    flips.resize(write);
+}
+
+ImportanceSampler::Sample
+ImportanceSampler::sample(int k, Rng &rng) const
+{
+    Sample out;
+    sample(k, rng, out);
     return out;
 }
 

@@ -57,10 +57,22 @@ class ImportanceSampler
         std::vector<uint32_t> defects;
         /** True observable flips of the injected error. */
         uint64_t obsMask = 0;
+        /** Scratch (drawn mechanism ids); reused across draws so
+         *  the in-place overload below is allocation-free when
+         *  warm. */
+        std::vector<uint32_t> chosen;
     };
 
     /** Draw a conditional sample with exactly k faults. */
     Sample sample(int k, Rng &rng) const;
+
+    /**
+     * Draw into a reused Sample: all buffers keep their capacity,
+     * so a warm slot samples without heap allocation (the harness
+     * keeps one slot per batch index). Bit-identical with the
+     * returning overload.
+     */
+    void sample(int k, Rng &rng, Sample &out) const;
 
   private:
     const DetectorErrorModel &dem_;

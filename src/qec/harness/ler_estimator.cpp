@@ -26,7 +26,8 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
 
     // One engine per worker (worker 0 = the original decoder on
     // the calling thread, the rest clones created serially up
-    // front), reused across every k-batch.
+    // front), each with its own DecodeWorkspace, reused across
+    // every k-batch — steady-state decoding allocates nothing.
     const WorkerDecoders engines(decoder,
                                  parallelWorkers(n, threads));
 
@@ -34,9 +35,8 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
     estimate.expectedFaults = sampler.expectedFaults();
 
     // Per-sample slots, reused across k-batches. Workers only write
-    // their own indices, so slices stay disjoint.
-    std::vector<std::vector<uint32_t>> defects(n);
-    std::vector<uint64_t> obsMasks(n);
+    // their own indices, so the index-keyed work stays disjoint.
+    std::vector<ImportanceSampler::Sample> samples(n);
     std::vector<DecodeResult> results(n);
     const bool wantTraces =
         observer && options.collectTraces;
@@ -65,16 +65,15 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
             n, threads,
             [&](size_t begin, size_t end, int worker) {
                 Decoder *engine = engines.engine(worker);
+                DecodeWorkspace &workspace =
+                    engines.workspace(worker);
                 for (size_t i = begin; i < end; ++i) {
                     Rng rng = Rng::forSample(
                         options.seed, static_cast<uint64_t>(k), i);
-                    ImportanceSampler::Sample sample =
-                        sampler.sample(k, rng);
-                    obsMasks[i] = sample.obsMask;
-                    defects[i] = std::move(sample.defects);
+                    sampler.sample(k, rng, samples[i]);
                     if (hasFilter) {
                         skipped[i] = options.decodeFilter(
-                                         k, defects[i])
+                                         k, samples[i].defects)
                                          ? 0
                                          : 1;
                         if (skipped[i]) {
@@ -82,7 +81,7 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
                         }
                     }
                     results[i] = engine->decode(
-                        defects[i],
+                        samples[i].defects, workspace,
                         wantTraces ? &traces[i] : nullptr);
                 }
             });
@@ -97,11 +96,12 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
                 continue;
             }
             const DecodeResult &result = results[i];
-            const bool failed = result.aborted ||
-                                result.predictedObs != obsMasks[i];
+            const bool failed =
+                result.aborted ||
+                result.predictedObs != samples[i].obsMask;
             stats.failures += failed ? 1 : 0;
             if (observer) {
-                observer({k, weight, defects[i], result,
+                observer({k, weight, samples[i].defects, result,
                           wantTraces ? &traces[i] : nullptr,
                           failed});
             }
@@ -132,14 +132,28 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
     const WorkerDecoders engines(decoder, workers);
     std::vector<uint64_t> failures(
         static_cast<size_t>(workers), 0);
+    // Per-worker simulators and scratch, created up front: the
+    // work-stealing parallelFor may hand a worker several chunks,
+    // so the body must only *accumulate* into per-worker state.
+    std::vector<FrameSimulator> simulators(
+        static_cast<size_t>(workers),
+        FrameSimulator(context.experiment().circuit));
+    std::vector<BatchResult> batches(
+        static_cast<size_t>(workers));
+    std::vector<std::vector<uint32_t>> block_defects(
+        static_cast<size_t>(workers));
     parallelFor(
         static_cast<size_t>(blocks), threads,
         [&](size_t begin, size_t end, int worker) {
-            FrameSimulator simulator(
-                context.experiment().circuit);
+            FrameSimulator &simulator =
+                simulators[static_cast<size_t>(worker)];
             Decoder *engine = engines.engine(worker);
-            BatchResult batch;
-            std::vector<uint32_t> block_defects;
+            DecodeWorkspace &workspace =
+                engines.workspace(worker);
+            BatchResult &batch =
+                batches[static_cast<size_t>(worker)];
+            std::vector<uint32_t> &defects =
+                block_defects[static_cast<size_t>(worker)];
             uint64_t local = 0;
             for (size_t b = begin; b < end; ++b) {
                 Rng rng = Rng::forSample(seed, 0, b);
@@ -147,25 +161,25 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
                 const int lanes = static_cast<int>(
                     std::min<uint64_t>(64, shots - b * 64));
                 for (int lane = 0; lane < lanes; ++lane) {
-                    block_defects.clear();
+                    defects.clear();
                     for (size_t det = 0;
                          det < batch.detectors.size(); ++det) {
                         if ((batch.detectors[det] >> lane) & 1) {
-                            block_defects.push_back(
+                            defects.push_back(
                                 static_cast<uint32_t>(det));
                         }
                     }
                     const uint64_t actual =
                         batch.observableMask(lane);
                     const DecodeResult decoded =
-                        engine->decode(block_defects);
+                        engine->decode(defects, workspace);
                     const bool fail =
                         decoded.aborted ||
                         decoded.predictedObs != actual;
                     local += fail ? 1 : 0;
                 }
             }
-            failures[static_cast<size_t>(worker)] = local;
+            failures[static_cast<size_t>(worker)] += local;
         });
     for (uint64_t f : failures) {
         result.failures += f;

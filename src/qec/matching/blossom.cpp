@@ -2,425 +2,422 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <vector>
+#include <limits>
 
 #include "qec/util/assert.hpp"
 
 namespace qec
 {
 
-namespace
+void
+BlossomSolver::beginDense(int n)
 {
-
-/**
- * Classic O(n^3) maximum-weight general matching with blossoms
- * (primal-dual, dense-graph formulation). Vertices are 1-based;
- * indices in (n, 2n] name contracted blossoms. The implementation
- * follows the well-known dense template: S-labels (0 outer, 1 inner,
- * -1 free), per-vertex slack pointers, and lazily maintained blossom
- * adjacency.
- */
-class MaxWeightMatcher
-{
-  public:
-    explicit MaxWeightMatcher(
-        const std::vector<std::vector<long long>> &weights)
-        : n(static_cast<int>(weights.size()) - 1)
-    {
-        const int cap = 2 * n + 1;
-        gu.assign(cap, std::vector<int>(cap, 0));
-        gv.assign(cap, std::vector<int>(cap, 0));
-        gw.assign(cap, std::vector<long long>(cap, 0));
-        lab.assign(cap, 0);
-        match.assign(cap, 0);
-        slack.assign(cap, 0);
-        st.assign(cap, 0);
-        pa.assign(cap, 0);
-        flowerFrom.assign(cap, std::vector<int>(n + 1, 0));
-        S.assign(cap, -1);
-        vis.assign(cap, 0);
-        flower.assign(cap, {});
-
-        long long w_max = 0;
-        for (int u = 1; u <= n; ++u) {
-            for (int v = 1; v <= n; ++v) {
-                gu[u][v] = u;
-                gv[u][v] = v;
-                // Doubling keeps every dual quantity integral.
-                gw[u][v] = 2 * weights[u][v];
-                w_max = std::max(w_max, gw[u][v]);
-            }
+    n_ = n;
+    nx_ = n;
+    wMax_ = 0;
+    const int need = 2 * n + 1;
+    if (need > cap_) {
+        cap_ = need;
+        gu_.resize(static_cast<size_t>(cap_) * cap_);
+        gv_.resize(static_cast<size_t>(cap_) * cap_);
+        gw_.resize(static_cast<size_t>(cap_) * cap_);
+        lab_.resize(cap_);
+        match_.resize(cap_);
+        slack_.resize(cap_);
+        st_.resize(cap_);
+        pa_.resize(cap_);
+        S_.resize(cap_);
+        vis_.resize(cap_, 0);
+        flower_.resize(cap_);
+    }
+    if (n + 1 > fcap_) {
+        fcap_ = n + 1;
+        flowerFrom_.resize(static_cast<size_t>(cap_) * fcap_);
+    }
+    // Per-solve overwrite of everything the algorithm reads before
+    // writing: the real-vertex edge region, the real flowerFrom
+    // rows, and the linear per-vertex state. Blossom slots
+    // ((n, 2n]) are fully initialized by addBlossom when created,
+    // so stale entries there are never observed.
+    for (int u = 1; u <= n; ++u) {
+        for (int v = 1; v <= n; ++v) {
+            gu(u, v) = u;
+            gv(u, v) = v;
+            gw(u, v) = 0;
         }
-        nx = n;
-        for (int u = 0; u <= n; ++u) {
-            st[u] = u;
-        }
-        for (int u = 1; u <= n; ++u) {
-            for (int v = 1; v <= n; ++v) {
-                flowerFrom[u][v] = (u == v) ? u : 0;
-            }
-        }
-        for (int u = 1; u <= n; ++u) {
-            lab[u] = w_max / 2;
+        for (int v = 0; v <= n; ++v) {
+            flowerFrom(u, v) = (u == v) ? u : 0;
         }
     }
-
-    /** Run augmentations to exhaustion; returns mate array. */
-    std::vector<int>
-    solve()
-    {
-        while (matchingRound()) {
-        }
-        return match;
+    for (int u = 0; u < cap_; ++u) {
+        st_[u] = u <= n ? u : 0;
+        match_[u] = 0;
     }
-
-  private:
-    long long
-    eDelta(int u, int v) const
-    {
-        return lab[gu[u][v]] + lab[gv[u][v]] - gw[u][v];
-    }
-
-    void
-    updateSlack(int u, int x)
-    {
-        if (!slack[x] ||
-            eDelta(gu[u][x], gv[u][x]) <
-                eDelta(gu[slack[x]][x], gv[slack[x]][x])) {
-            slack[x] = u;
-        }
-    }
-
-    void
-    setSlack(int x)
-    {
-        slack[x] = 0;
-        for (int u = 1; u <= n; ++u) {
-            if (gw[u][x] > 0 && st[u] != x && S[st[u]] == 0) {
-                updateSlack(u, x);
-            }
-        }
-    }
-
-    void
-    queuePush(int x)
-    {
-        if (x <= n) {
-            q.push_back(x);
-        } else {
-            for (int i : flower[x]) {
-                queuePush(i);
-            }
-        }
-    }
-
-    void
-    setSt(int x, int b)
-    {
-        st[x] = b;
-        if (x > n) {
-            for (int i : flower[x]) {
-                setSt(i, b);
-            }
-        }
-    }
-
-    int
-    getPr(int b, int xr)
-    {
-        auto it = std::find(flower[b].begin(), flower[b].end(), xr);
-        int pr = static_cast<int>(it - flower[b].begin());
-        if (pr % 2 == 1) {
-            std::reverse(flower[b].begin() + 1, flower[b].end());
-            return static_cast<int>(flower[b].size()) - pr;
-        }
-        return pr;
-    }
-
-    void
-    setMatch(int u, int v)
-    {
-        match[u] = gv[u][v];
-        if (u <= n) {
-            return;
-        }
-        const int xr = flowerFrom[u][gu[u][v]];
-        const int pr = getPr(u, xr);
-        for (int i = 0; i < pr; ++i) {
-            setMatch(flower[u][i], flower[u][i ^ 1]);
-        }
-        setMatch(xr, v);
-        std::rotate(flower[u].begin(), flower[u].begin() + pr,
-                    flower[u].end());
-    }
-
-    void
-    augment(int u, int v)
-    {
-        while (true) {
-            const int xnv = st[match[u]];
-            setMatch(u, v);
-            if (!xnv) {
-                return;
-            }
-            setMatch(xnv, st[pa[xnv]]);
-            u = st[pa[xnv]];
-            v = xnv;
-        }
-    }
-
-    int
-    getLca(int u, int v)
-    {
-        static thread_local int t = 0;
-        for (++t; u || v; std::swap(u, v)) {
-            if (u == 0) {
-                continue;
-            }
-            if (vis[u] == t) {
-                return u;
-            }
-            vis[u] = t;
-            u = st[match[u]];
-            if (u) {
-                u = st[pa[u]];
-            }
-        }
-        return 0;
-    }
-
-    void
-    addBlossom(int u, int lca, int v)
-    {
-        int b = n + 1;
-        while (b <= nx && st[b]) {
-            ++b;
-        }
-        if (b > nx) {
-            ++nx;
-        }
-        lab[b] = 0;
-        S[b] = 0;
-        match[b] = match[lca];
-        flower[b].clear();
-        flower[b].push_back(lca);
-        for (int x = u, y; x != lca; x = st[pa[y]]) {
-            flower[b].push_back(x);
-            y = st[match[x]];
-            flower[b].push_back(y);
-            queuePush(y);
-        }
-        std::reverse(flower[b].begin() + 1, flower[b].end());
-        for (int x = v, y; x != lca; x = st[pa[y]]) {
-            flower[b].push_back(x);
-            y = st[match[x]];
-            flower[b].push_back(y);
-            queuePush(y);
-        }
-        setSt(b, b);
-        for (int x = 1; x <= nx; ++x) {
-            gw[b][x] = gw[x][b] = 0;
-        }
-        for (int x = 1; x <= n; ++x) {
-            flowerFrom[b][x] = 0;
-        }
-        for (int xs : flower[b]) {
-            for (int x = 1; x <= nx; ++x) {
-                if (gw[b][x] == 0 ||
-                    eDelta(gu[xs][x], gv[xs][x]) <
-                        eDelta(gu[b][x], gv[b][x])) {
-                    gu[b][x] = gu[xs][x];
-                    gv[b][x] = gv[xs][x];
-                    gw[b][x] = gw[xs][x];
-                    gu[x][b] = gu[x][xs];
-                    gv[x][b] = gv[x][xs];
-                    gw[x][b] = gw[x][xs];
-                }
-            }
-            for (int x = 1; x <= n; ++x) {
-                if (flowerFrom[xs][x]) {
-                    flowerFrom[b][x] = xs;
-                }
-            }
-        }
-        setSlack(b);
-    }
-
-    void
-    expandBlossom(int b)
-    {
-        for (int i : flower[b]) {
-            setSt(i, i);
-        }
-        const int xr = flowerFrom[b][gu[b][pa[b]]];
-        const int pr = getPr(b, xr);
-        for (int i = 0; i < pr; i += 2) {
-            const int xs = flower[b][i];
-            const int xns = flower[b][i + 1];
-            pa[xs] = gu[xns][xs];
-            S[xs] = 1;
-            S[xns] = 0;
-            slack[xs] = 0;
-            setSlack(xns);
-            queuePush(xns);
-        }
-        S[xr] = 1;
-        pa[xr] = pa[b];
-        for (size_t i = pr + 1; i < flower[b].size(); ++i) {
-            const int xs = flower[b][i];
-            S[xs] = -1;
-            setSlack(xs);
-        }
-        st[b] = 0;
-    }
-
-    bool
-    onFoundEdge(int eu, int ev)
-    {
-        const int u = st[eu];
-        const int v = st[ev];
-        if (S[v] == -1) {
-            pa[v] = eu;
-            S[v] = 1;
-            const int nu = st[match[v]];
-            slack[v] = slack[nu] = 0;
-            S[nu] = 0;
-            queuePush(nu);
-        } else if (S[v] == 0) {
-            const int lca = getLca(u, v);
-            if (!lca) {
-                augment(u, v);
-                augment(v, u);
-                return true;
-            }
-            addBlossom(u, lca, v);
-        }
-        return false;
-    }
-
-    bool
-    matchingRound()
-    {
-        std::fill(S.begin() + 1, S.begin() + nx + 1, -1);
-        std::fill(slack.begin() + 1, slack.begin() + nx + 1, 0);
-        q.clear();
-        for (int x = 1; x <= nx; ++x) {
-            if (st[x] == x && !match[x]) {
-                pa[x] = 0;
-                S[x] = 0;
-                queuePush(x);
-            }
-        }
-        if (q.empty()) {
-            return false;
-        }
-        while (true) {
-            while (!q.empty()) {
-                const int u = q.front();
-                q.pop_front();
-                if (S[st[u]] == 1) {
-                    continue;
-                }
-                for (int v = 1; v <= n; ++v) {
-                    if (gw[u][v] > 0 && st[u] != st[v]) {
-                        if (eDelta(gu[u][v], gv[u][v]) == 0) {
-                            if (onFoundEdge(gu[u][v], gv[u][v])) {
-                                return true;
-                            }
-                        } else {
-                            updateSlack(u, st[v]);
-                        }
-                    }
-                }
-            }
-            long long d =
-                std::numeric_limits<long long>::max();
-            for (int b = n + 1; b <= nx; ++b) {
-                if (st[b] == b && S[b] == 1) {
-                    d = std::min(d, lab[b] / 2);
-                }
-            }
-            for (int x = 1; x <= nx; ++x) {
-                if (st[x] == x && slack[x]) {
-                    const long long delta = eDelta(
-                        gu[slack[x]][x], gv[slack[x]][x]);
-                    if (S[x] == -1) {
-                        d = std::min(d, delta);
-                    } else if (S[x] == 0) {
-                        d = std::min(d, delta / 2);
-                    }
-                }
-            }
-            for (int u = 1; u <= n; ++u) {
-                if (S[st[u]] == 0) {
-                    if (lab[u] <= d) {
-                        return false;
-                    }
-                    lab[u] -= d;
-                } else if (S[st[u]] == 1) {
-                    lab[u] += d;
-                }
-            }
-            for (int b = n + 1; b <= nx; ++b) {
-                if (st[b] == b) {
-                    if (S[b] == 0) {
-                        lab[b] += 2 * d;
-                    } else if (S[b] == 1) {
-                        lab[b] -= 2 * d;
-                    }
-                }
-            }
-            q.clear();
-            for (int x = 1; x <= nx; ++x) {
-                if (st[x] == x && slack[x] && st[slack[x]] != x &&
-                    eDelta(gu[slack[x]][x], gv[slack[x]][x]) == 0) {
-                    if (onFoundEdge(gu[slack[x]][x],
-                                    gv[slack[x]][x])) {
-                        return true;
-                    }
-                }
-            }
-            for (int b = n + 1; b <= nx; ++b) {
-                if (st[b] == b && S[b] == 1 && lab[b] == 0) {
-                    expandBlossom(b);
-                }
-            }
-        }
-    }
-
-    int n;
-    int nx;
-    // Edge bookkeeping: original endpoints and weight per slot; a
-    // blossom's slot toward x caches its best member edge.
-    std::vector<std::vector<int>> gu, gv;
-    std::vector<std::vector<long long>> gw;
-    std::vector<long long> lab;
-    std::vector<int> match, slack, st, pa;
-    std::vector<std::vector<int>> flowerFrom;
-    std::vector<int> S, vis;
-    std::vector<std::vector<int>> flower;
-    std::deque<int> q;
-};
-
-} // namespace
-
-std::vector<int>
-maxWeightMatchingDense(
-    const std::vector<std::vector<long long>> &weights)
-{
-    MaxWeightMatcher matcher(weights);
-    return matcher.solve();
 }
 
-MatchingSolution
-solveBlossom(const MatchingProblem &problem)
+void
+BlossomSolver::setEdge(int u, int v, long long w)
+{
+    // Doubling keeps every dual quantity integral.
+    gw(u, v) = 2 * w;
+    gw(v, u) = 2 * w;
+    wMax_ = std::max(wMax_, 2 * w);
+}
+
+void
+BlossomSolver::run()
+{
+    for (int u = 1; u <= n_; ++u) {
+        lab_[u] = wMax_ / 2;
+    }
+    while (matchingRound()) {
+    }
+}
+
+long long
+BlossomSolver::eDelta(int u, int v)
+{
+    return lab_[gu(u, v)] + lab_[gv(u, v)] - gw(u, v);
+}
+
+void
+BlossomSolver::updateSlack(int u, int x)
+{
+    if (!slack_[x] ||
+        eDelta(gu(u, x), gv(u, x)) <
+            eDelta(gu(slack_[x], x), gv(slack_[x], x))) {
+        slack_[x] = u;
+    }
+}
+
+void
+BlossomSolver::setSlack(int x)
+{
+    slack_[x] = 0;
+    for (int u = 1; u <= n_; ++u) {
+        if (gw(u, x) > 0 && st_[u] != x && S_[st_[u]] == 0) {
+            updateSlack(u, x);
+        }
+    }
+}
+
+void
+BlossomSolver::queuePush(int x)
+{
+    if (x <= n_) {
+        queue_.push_back(x);
+    } else {
+        for (int i : flower_[x]) {
+            queuePush(i);
+        }
+    }
+}
+
+void
+BlossomSolver::setSt(int x, int b)
+{
+    st_[x] = b;
+    if (x > n_) {
+        for (int i : flower_[x]) {
+            setSt(i, b);
+        }
+    }
+}
+
+int
+BlossomSolver::getPr(int b, int xr)
+{
+    auto it =
+        std::find(flower_[b].begin(), flower_[b].end(), xr);
+    int pr = static_cast<int>(it - flower_[b].begin());
+    if (pr % 2 == 1) {
+        std::reverse(flower_[b].begin() + 1, flower_[b].end());
+        return static_cast<int>(flower_[b].size()) - pr;
+    }
+    return pr;
+}
+
+void
+BlossomSolver::setMatch(int u, int v)
+{
+    match_[u] = gv(u, v);
+    if (u <= n_) {
+        return;
+    }
+    const int xr = flowerFrom(u, gu(u, v));
+    const int pr = getPr(u, xr);
+    for (int i = 0; i < pr; ++i) {
+        setMatch(flower_[u][i], flower_[u][i ^ 1]);
+    }
+    setMatch(xr, v);
+    std::rotate(flower_[u].begin(), flower_[u].begin() + pr,
+                flower_[u].end());
+}
+
+void
+BlossomSolver::augment(int u, int v)
+{
+    while (true) {
+        const int xnv = st_[match_[u]];
+        setMatch(u, v);
+        if (!xnv) {
+            return;
+        }
+        setMatch(xnv, st_[pa_[xnv]]);
+        u = st_[pa_[xnv]];
+        v = xnv;
+    }
+}
+
+int
+BlossomSolver::getLca(int u, int v)
+{
+    for (++visitT_; u || v; std::swap(u, v)) {
+        if (u == 0) {
+            continue;
+        }
+        if (vis_[u] == visitT_) {
+            return u;
+        }
+        vis_[u] = visitT_;
+        u = st_[match_[u]];
+        if (u) {
+            u = st_[pa_[u]];
+        }
+    }
+    return 0;
+}
+
+void
+BlossomSolver::addBlossom(int u, int lca, int v)
+{
+    int b = n_ + 1;
+    while (b <= nx_ && st_[b]) {
+        ++b;
+    }
+    if (b > nx_) {
+        ++nx_;
+    }
+    lab_[b] = 0;
+    S_[b] = 0;
+    match_[b] = match_[lca];
+    flower_[b].clear();
+    flower_[b].push_back(lca);
+    for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+        flower_[b].push_back(x);
+        y = st_[match_[x]];
+        flower_[b].push_back(y);
+        queuePush(y);
+    }
+    std::reverse(flower_[b].begin() + 1, flower_[b].end());
+    for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+        flower_[b].push_back(x);
+        y = st_[match_[x]];
+        flower_[b].push_back(y);
+        queuePush(y);
+    }
+    setSt(b, b);
+    for (int x = 1; x <= nx_; ++x) {
+        gw(b, x) = 0;
+        gw(x, b) = 0;
+    }
+    for (int x = 1; x <= n_; ++x) {
+        flowerFrom(b, x) = 0;
+    }
+    for (int xs : flower_[b]) {
+        for (int x = 1; x <= nx_; ++x) {
+            if (gw(b, x) == 0 ||
+                eDelta(gu(xs, x), gv(xs, x)) <
+                    eDelta(gu(b, x), gv(b, x))) {
+                gu(b, x) = gu(xs, x);
+                gv(b, x) = gv(xs, x);
+                gw(b, x) = gw(xs, x);
+                gu(x, b) = gu(x, xs);
+                gv(x, b) = gv(x, xs);
+                gw(x, b) = gw(x, xs);
+            }
+        }
+        for (int x = 1; x <= n_; ++x) {
+            if (flowerFrom(xs, x)) {
+                flowerFrom(b, x) = xs;
+            }
+        }
+    }
+    setSlack(b);
+}
+
+void
+BlossomSolver::expandBlossom(int b)
+{
+    for (int i : flower_[b]) {
+        setSt(i, i);
+    }
+    const int xr = flowerFrom(b, gu(b, pa_[b]));
+    const int pr = getPr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+        const int xs = flower_[b][i];
+        const int xns = flower_[b][i + 1];
+        pa_[xs] = gu(xns, xs);
+        S_[xs] = 1;
+        S_[xns] = 0;
+        slack_[xs] = 0;
+        setSlack(xns);
+        queuePush(xns);
+    }
+    S_[xr] = 1;
+    pa_[xr] = pa_[b];
+    for (size_t i = pr + 1; i < flower_[b].size(); ++i) {
+        const int xs = flower_[b][i];
+        S_[xs] = -1;
+        setSlack(xs);
+    }
+    st_[b] = 0;
+}
+
+bool
+BlossomSolver::onFoundEdge(int eu, int ev)
+{
+    const int u = st_[eu];
+    const int v = st_[ev];
+    if (S_[v] == -1) {
+        pa_[v] = eu;
+        S_[v] = 1;
+        const int nu = st_[match_[v]];
+        slack_[v] = slack_[nu] = 0;
+        S_[nu] = 0;
+        queuePush(nu);
+    } else if (S_[v] == 0) {
+        const int lca = getLca(u, v);
+        if (!lca) {
+            augment(u, v);
+            augment(v, u);
+            return true;
+        }
+        addBlossom(u, lca, v);
+    }
+    return false;
+}
+
+bool
+BlossomSolver::matchingRound()
+{
+    std::fill(S_.begin() + 1, S_.begin() + nx_ + 1, -1);
+    std::fill(slack_.begin() + 1, slack_.begin() + nx_ + 1, 0);
+    queue_.clear();
+    queueHead_ = 0;
+    for (int x = 1; x <= nx_; ++x) {
+        if (st_[x] == x && !match_[x]) {
+            pa_[x] = 0;
+            S_[x] = 0;
+            queuePush(x);
+        }
+    }
+    if (queue_.empty()) {
+        return false;
+    }
+    while (true) {
+        while (queueHead_ < queue_.size()) {
+            const int u = queue_[queueHead_++];
+            if (S_[st_[u]] == 1) {
+                continue;
+            }
+            for (int v = 1; v <= n_; ++v) {
+                if (gw(u, v) > 0 && st_[u] != st_[v]) {
+                    if (eDelta(gu(u, v), gv(u, v)) == 0) {
+                        if (onFoundEdge(gu(u, v), gv(u, v))) {
+                            return true;
+                        }
+                    } else {
+                        updateSlack(u, st_[v]);
+                    }
+                }
+            }
+        }
+        long long d = std::numeric_limits<long long>::max();
+        for (int b = n_ + 1; b <= nx_; ++b) {
+            if (st_[b] == b && S_[b] == 1) {
+                d = std::min(d, lab_[b] / 2);
+            }
+        }
+        for (int x = 1; x <= nx_; ++x) {
+            if (st_[x] == x && slack_[x]) {
+                const long long delta =
+                    eDelta(gu(slack_[x], x), gv(slack_[x], x));
+                if (S_[x] == -1) {
+                    d = std::min(d, delta);
+                } else if (S_[x] == 0) {
+                    d = std::min(d, delta / 2);
+                }
+            }
+        }
+        for (int u = 1; u <= n_; ++u) {
+            if (S_[st_[u]] == 0) {
+                if (lab_[u] <= d) {
+                    return false;
+                }
+                lab_[u] -= d;
+            } else if (S_[st_[u]] == 1) {
+                lab_[u] += d;
+            }
+        }
+        for (int b = n_ + 1; b <= nx_; ++b) {
+            if (st_[b] == b) {
+                if (S_[b] == 0) {
+                    lab_[b] += 2 * d;
+                } else if (S_[b] == 1) {
+                    lab_[b] -= 2 * d;
+                }
+            }
+        }
+        queue_.clear();
+        queueHead_ = 0;
+        for (int x = 1; x <= nx_; ++x) {
+            if (st_[x] == x && slack_[x] && st_[slack_[x]] != x &&
+                eDelta(gu(slack_[x], x), gv(slack_[x], x)) == 0) {
+                if (onFoundEdge(gu(slack_[x], x),
+                                gv(slack_[x], x))) {
+                    return true;
+                }
+            }
+        }
+        for (int b = n_ + 1; b <= nx_; ++b) {
+            if (st_[b] == b && S_[b] == 1 && lab_[b] == 0) {
+                expandBlossom(b);
+            }
+        }
+    }
+}
+
+const std::vector<int> &
+BlossomSolver::maxWeightMatching(
+    const std::vector<std::vector<long long>> &weights)
+{
+    const int n = static_cast<int>(weights.size()) - 1;
+    beginDense(n);
+    // Copy each directed entry as-is (matching the historical
+    // behavior for callers that fill only one triangle); wMax_
+    // feeds the initial dual values.
+    for (int u = 1; u <= n; ++u) {
+        for (int v = 1; v <= n; ++v) {
+            gw(u, v) = 2 * weights[u][v];
+            wMax_ = std::max(wMax_, gw(u, v));
+        }
+    }
+    run();
+    return match_;
+}
+
+void
+BlossomSolver::solve(const MatchingProblem &problem,
+                     MatchingSolution &out)
 {
     const int n = problem.n;
-    MatchingSolution solution;
+    out.mate.clear();
+    out.totalWeight = 0.0;
+    out.valid = false;
     if (n == 0) {
-        solution.valid = true;
-        return solution;
+        out.valid = true;
+        return;
     }
 
     // Quantize weights to integers. The scale keeps the largest
@@ -443,61 +440,71 @@ solveBlossom(const MatchingProblem &problem)
     };
     const long long big = 4'000'000;
 
-    // Doubled graph: defects 1..n, twins n+1..2n (1-based).
-    const int total = 2 * n;
-    std::vector<std::vector<long long>> weights(
-        total + 1, std::vector<long long>(total + 1, 0));
-    auto set_edge = [&](int a, int b, long long w) {
-        weights[a][b] = w;
-        weights[b][a] = w;
-    };
-    for (int i = 0; i < n; ++i) {
-        if (problem.boundaryWeight[i] != kNoEdge) {
-            set_edge(i + 1, n + i + 1,
-                     big - quantize(problem.boundaryWeight[i]));
-        }
-        for (int j = i + 1; j < n; ++j) {
-            if (problem.pair(i, j) != kNoEdge) {
-                set_edge(i + 1, j + 1,
-                         big - quantize(problem.pair(i, j)));
-            }
-            // Twins pair up for free.
-            set_edge(n + i + 1, n + j + 1, big);
-        }
-    }
     if (n == 1) {
         // Single defect: twin edge is the only option.
         if (problem.boundaryWeight[0] == kNoEdge) {
-            solution.valid = false;
-            return solution;
+            return;
         }
-        solution.mate = {-1};
-        solution.totalWeight = problem.boundaryWeight[0];
-        solution.valid = true;
-        return solution;
+        out.mate.push_back(-1);
+        out.totalWeight = problem.boundaryWeight[0];
+        out.valid = true;
+        return;
     }
 
-    const std::vector<int> mate = maxWeightMatchingDense(weights);
+    // Doubled graph: defects 1..n, twins n+1..2n (1-based), written
+    // straight into the dense core — no intermediate matrix.
+    beginDense(2 * n);
+    for (int i = 0; i < n; ++i) {
+        if (problem.boundaryWeight[i] != kNoEdge) {
+            setEdge(i + 1, n + i + 1,
+                    big - quantize(problem.boundaryWeight[i]));
+        }
+        for (int j = i + 1; j < n; ++j) {
+            if (problem.pair(i, j) != kNoEdge) {
+                setEdge(i + 1, j + 1,
+                        big - quantize(problem.pair(i, j)));
+            }
+            // Twins pair up for free.
+            setEdge(n + i + 1, n + j + 1, big);
+        }
+    }
+    run();
 
-    solution.mate.assign(n, -2);
+    out.mate.assign(n, -2);
     for (int i = 1; i <= n; ++i) {
-        const int m = mate[i];
+        const int m = match_[i];
         if (m == 0) {
-            solution.valid = false;
-            return solution;
+            out.valid = false;
+            return;
         }
         if (m == n + i) {
-            solution.mate[i - 1] = -1;
+            out.mate[i - 1] = -1;
         } else if (m <= n) {
-            solution.mate[i - 1] = m - 1;
+            out.mate[i - 1] = m - 1;
         } else {
             // Matched to a foreign twin: not a legal projection.
-            solution.valid = false;
-            return solution;
+            out.valid = false;
+            return;
         }
     }
-    solution.valid = true;
-    solution.totalWeight = matchingWeight(problem, solution);
+    out.valid = true;
+    out.totalWeight = matchingWeight(problem, out);
+}
+
+std::vector<int>
+maxWeightMatchingDense(
+    const std::vector<std::vector<long long>> &weights)
+{
+    BlossomSolver solver;
+    return solver.maxWeightMatching(weights);
+}
+
+MatchingSolution
+solveBlossom(const MatchingProblem &problem)
+{
+    BlossomSolver solver;
+    MatchingSolution solution;
+    solver.solve(problem, solution);
     return solution;
 }
 

@@ -7,29 +7,36 @@
 namespace qec
 {
 
+void
+buildDefectGraphInto(std::span<const uint32_t> defects,
+                     const PathTable &paths, DefectGraph &out)
+{
+    out.defects.assign(defects.begin(), defects.end());
+    const int n = static_cast<int>(defects.size());
+    out.problem.n = n;
+    out.problem.pairWeight.assign(static_cast<size_t>(n) * n,
+                                  kNoEdge);
+    out.problem.boundaryWeight.assign(n, kNoEdge);
+    for (int i = 0; i < n; ++i) {
+        const double db = paths.distToBoundary(defects[i]);
+        if (std::isfinite(db)) {
+            out.problem.boundaryWeight[i] = db;
+        }
+        for (int j = i + 1; j < n; ++j) {
+            if (!paths.unreachable(defects[i], defects[j])) {
+                out.problem.setPair(
+                    i, j, paths.dist(defects[i], defects[j]));
+            }
+        }
+    }
+}
+
 DefectGraph
 buildDefectGraph(std::span<const uint32_t> defects,
                  const PathTable &paths)
 {
     DefectGraph graph;
-    graph.defects.assign(defects.begin(), defects.end());
-    const int n = static_cast<int>(defects.size());
-    graph.problem.n = n;
-    graph.problem.pairWeight.assign(
-        static_cast<size_t>(n) * n, kNoEdge);
-    graph.problem.boundaryWeight.assign(n, kNoEdge);
-    for (int i = 0; i < n; ++i) {
-        const double db = paths.distToBoundary(defects[i]);
-        if (std::isfinite(db)) {
-            graph.problem.boundaryWeight[i] = db;
-        }
-        for (int j = i + 1; j < n; ++j) {
-            if (!paths.unreachable(defects[i], defects[j])) {
-                graph.problem.setPair(
-                    i, j, paths.dist(defects[i], defects[j]));
-            }
-        }
-    }
+    buildDefectGraphInto(defects, paths, graph);
     return graph;
 }
 
@@ -51,20 +58,28 @@ DefectGraph::solutionObs(const PathTable &paths,
     return obs;
 }
 
+void
+DefectGraph::chainLengthsInto(const PathTable &paths,
+                              const MatchingSolution &solution,
+                              std::vector<int> &out) const
+{
+    out.clear();
+    for (size_t i = 0; i < defects.size(); ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            out.push_back(paths.boundaryHops(defects[i]));
+        } else if (m > static_cast<int>(i)) {
+            out.push_back(paths.pathHops(defects[i], defects[m]));
+        }
+    }
+}
+
 std::vector<int>
 DefectGraph::chainLengths(const PathTable &paths,
                           const MatchingSolution &solution) const
 {
     std::vector<int> lengths;
-    for (size_t i = 0; i < defects.size(); ++i) {
-        const int m = solution.mate[i];
-        if (m == -1) {
-            lengths.push_back(paths.boundaryHops(defects[i]));
-        } else if (m > static_cast<int>(i)) {
-            lengths.push_back(
-                paths.pathHops(defects[i], defects[m]));
-        }
-    }
+    chainLengthsInto(paths, solution, lengths);
     return lengths;
 }
 

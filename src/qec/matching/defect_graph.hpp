@@ -7,6 +7,10 @@
  * "MWPM graph" of §4.2.3). It also knows how to turn a matching
  * solution back into physics: the observable flips implied by the
  * matched paths and the error-chain lengths (Fig. 5).
+ *
+ * The hot decode path rebuilds one workspace-owned DefectGraph in
+ * place via buildDefectGraphInto (all buffers reuse their capacity);
+ * the returning buildDefectGraph wrapper stays for convenience.
  */
 
 #ifndef QEC_MATCHING_DEFECT_GRAPH_HPP
@@ -37,11 +41,20 @@ struct DefectGraph
     /** Error-chain length (hops) of each matched pair/boundary. */
     std::vector<int> chainLengths(const PathTable &paths,
                                   const MatchingSolution &sol) const;
+
+    /** chainLengths into a caller-owned buffer (capacity reused). */
+    void chainLengthsInto(const PathTable &paths,
+                          const MatchingSolution &sol,
+                          std::vector<int> &out) const;
 };
 
 /** Build the complete defect graph of a syndrome. */
 DefectGraph buildDefectGraph(std::span<const uint32_t> defects,
                              const PathTable &paths);
+
+/** Rebuild `out` in place from a syndrome, reusing its buffers. */
+void buildDefectGraphInto(std::span<const uint32_t> defects,
+                          const PathTable &paths, DefectGraph &out);
 
 } // namespace qec
 

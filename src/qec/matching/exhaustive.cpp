@@ -5,71 +5,6 @@
 namespace qec
 {
 
-namespace
-{
-
-struct SearchState
-{
-    const MatchingProblem &problem;
-    std::vector<int> mate;
-    std::vector<int> best_mate;
-    double best = kNoEdge;
-    uint64_t explored = 0;
-
-    explicit SearchState(const MatchingProblem &p)
-        : problem(p), mate(p.n, -2), best_mate(p.n, -2)
-    {
-    }
-
-    void
-    recurse(int matched, double weight)
-    {
-        if (weight >= best) {
-            // Even a complete extension cannot improve (weights >= 0).
-            return;
-        }
-        const int n = problem.n;
-        int first = 0;
-        while (first < n && mate[first] != -2) {
-            ++first;
-        }
-        if (first == n) {
-            ++explored;
-            if (weight < best) {
-                best = weight;
-                best_mate = mate;
-            }
-            return;
-        }
-        (void)matched;
-
-        // Option 1: boundary.
-        const double bw = problem.boundaryWeight[first];
-        if (bw != kNoEdge) {
-            mate[first] = -1;
-            recurse(matched + 1, weight + bw);
-            mate[first] = -2;
-        }
-        // Option 2: each later unmatched defect.
-        for (int j = first + 1; j < n; ++j) {
-            if (mate[j] != -2) {
-                continue;
-            }
-            const double pw = problem.pair(first, j);
-            if (pw == kNoEdge) {
-                continue;
-            }
-            mate[first] = j;
-            mate[j] = first;
-            recurse(matched + 2, weight + pw);
-            mate[first] = -2;
-            mate[j] = -2;
-        }
-    }
-};
-
-} // namespace
-
 double
 matchingWeight(const MatchingProblem &problem,
                const MatchingSolution &solution)
@@ -86,22 +21,81 @@ matchingWeight(const MatchingProblem &problem,
     return total;
 }
 
+void
+ExhaustiveSolver::recurse(const MatchingProblem &problem,
+                          double weight)
+{
+    if (weight >= best_) {
+        // Even a complete extension cannot improve (weights >= 0).
+        return;
+    }
+    const int n = problem.n;
+    int first = 0;
+    while (first < n && mate_[first] != -2) {
+        ++first;
+    }
+    if (first == n) {
+        ++explored_;
+        if (weight < best_) {
+            best_ = weight;
+            bestMate_.assign(mate_.begin(), mate_.begin() + n);
+        }
+        return;
+    }
+
+    // Option 1: boundary.
+    const double bw = problem.boundaryWeight[first];
+    if (bw != kNoEdge) {
+        mate_[first] = -1;
+        recurse(problem, weight + bw);
+        mate_[first] = -2;
+    }
+    // Option 2: each later unmatched defect.
+    for (int j = first + 1; j < n; ++j) {
+        if (mate_[j] != -2) {
+            continue;
+        }
+        const double pw = problem.pair(first, j);
+        if (pw == kNoEdge) {
+            continue;
+        }
+        mate_[first] = j;
+        mate_[j] = first;
+        recurse(problem, weight + pw);
+        mate_[first] = -2;
+        mate_[j] = -2;
+    }
+}
+
+void
+ExhaustiveSolver::solve(const MatchingProblem &problem,
+                        MatchingSolution &out, uint64_t *explored)
+{
+    mate_.assign(problem.n, -2);
+    bestMate_.assign(problem.n, -2);
+    best_ = kNoEdge;
+    explored_ = 0;
+    recurse(problem, 0.0);
+    if (explored) {
+        *explored = explored_;
+    }
+    if (best_ == kNoEdge) {
+        out.mate.clear();
+        out.totalWeight = 0.0;
+        out.valid = false;
+        return;
+    }
+    out.mate.assign(bestMate_.begin(), bestMate_.end());
+    out.totalWeight = best_;
+    out.valid = true;
+}
+
 MatchingSolution
 solveExhaustive(const MatchingProblem &problem, uint64_t *explored)
 {
-    SearchState state(problem);
-    state.recurse(0, 0.0);
+    ExhaustiveSolver solver;
     MatchingSolution solution;
-    if (state.best == kNoEdge) {
-        solution.valid = false;
-        return solution;
-    }
-    solution.mate = state.best_mate;
-    solution.totalWeight = state.best;
-    solution.valid = true;
-    if (explored) {
-        *explored = state.explored;
-    }
+    solver.solve(problem, solution, explored);
     return solution;
 }
 

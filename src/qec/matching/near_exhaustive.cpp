@@ -1,0 +1,161 @@
+#include "qec/matching/near_exhaustive.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+double
+NearExhaustiveSolver::remainingBound() const
+{
+    double bound = 0.0;
+    for (int i = 0; i < problem_->n; ++i) {
+        if (mate_[i] == -2) {
+            bound += minOption_[i] * 0.5;
+        }
+    }
+    return bound;
+}
+
+void
+NearExhaustiveSolver::greedyComplete(double weight)
+{
+    savedMate_.assign(mate_.begin(), mate_.end());
+    for (int i = 0; i < problem_->n; ++i) {
+        if (mate_[i] != -2) {
+            continue;
+        }
+        double best_w = kNoEdge;
+        int best_j = -3;
+        for (int o = optOffset_[i]; o < optOffset_[i + 1]; ++o) {
+            const auto &[w, j] = options_[o];
+            if (j == -1 || mate_[j] == -2) {
+                best_w = w;
+                best_j = j;
+                break; // Options are sorted by weight.
+            }
+        }
+        if (best_j == -3) {
+            mate_.assign(savedMate_.begin(), savedMate_.end());
+            return; // Dead end; keep previous best.
+        }
+        mate_[i] = best_j;
+        if (best_j >= 0) {
+            mate_[best_j] = i;
+        }
+        weight += best_w;
+    }
+    if (weight < best_) {
+        best_ = weight;
+        bestMate_.assign(mate_.begin(), mate_.end());
+    }
+    mate_.assign(savedMate_.begin(), savedMate_.end());
+}
+
+void
+NearExhaustiveSolver::recurse(double weight)
+{
+    if (hitBudget_) {
+        return;
+    }
+    if (++states_ > budget_) {
+        hitBudget_ = true;
+        return;
+    }
+    if (weight + (useBound_ ? remainingBound() : 0.0) >= best_) {
+        return;
+    }
+    int first = 0;
+    const int n = problem_->n;
+    while (first < n && mate_[first] != -2) {
+        ++first;
+    }
+    if (first == n) {
+        if (weight < best_) {
+            best_ = weight;
+            bestMate_.assign(mate_.begin(), mate_.end());
+        }
+        return;
+    }
+    for (int o = optOffset_[first]; o < optOffset_[first + 1];
+         ++o) {
+        const auto [w, j] = options_[o];
+        if (j >= 0 && mate_[j] != -2) {
+            continue;
+        }
+        mate_[first] = j;
+        if (j >= 0) {
+            mate_[j] = first;
+        }
+        recurse(weight + w);
+        mate_[first] = -2;
+        if (j >= 0) {
+            mate_[j] = -2;
+        }
+        if (hitBudget_) {
+            // Out of budget mid-expansion: finish this branch
+            // greedily so we always return some matching.
+            mate_[first] = j;
+            if (j >= 0) {
+                mate_[j] = first;
+            }
+            greedyComplete(weight + w);
+            mate_[first] = -2;
+            if (j >= 0) {
+                mate_[j] = -2;
+            }
+            return;
+        }
+    }
+}
+
+void
+NearExhaustiveSolver::solve(const MatchingProblem &problem,
+                            long long budget, bool use_bound,
+                            MatchingSolution &out)
+{
+    problem_ = &problem;
+    budget_ = budget;
+    useBound_ = use_bound;
+    const int n = problem.n;
+    mate_.assign(n, -2);
+    bestMate_.assign(n, -2);
+    best_ = kNoEdge;
+    states_ = 0;
+    hitBudget_ = false;
+
+    optOffset_.assign(n + 1, 0);
+    options_.clear();
+    minOption_.assign(n, kNoEdge);
+    for (int i = 0; i < n; ++i) {
+        optOffset_[i] = static_cast<int>(options_.size());
+        if (problem.boundaryWeight[i] != kNoEdge) {
+            options_.push_back({problem.boundaryWeight[i], -1});
+        }
+        for (int j = 0; j < n; ++j) {
+            if (j != i && problem.pair(i, j) != kNoEdge) {
+                options_.push_back({problem.pair(i, j), j});
+            }
+        }
+        std::sort(options_.begin() + optOffset_[i],
+                  options_.end());
+        if (static_cast<int>(options_.size()) > optOffset_[i]) {
+            minOption_[i] = options_[optOffset_[i]].first;
+        }
+    }
+    optOffset_[n] = static_cast<int>(options_.size());
+
+    recurse(0.0);
+    if (best_ == kNoEdge) {
+        // Not even a greedy completion existed.
+        out.mate.clear();
+        out.totalWeight = 0.0;
+        out.valid = false;
+        return;
+    }
+    out.mate.assign(bestMate_.begin(), bestMate_.end());
+    out.totalWeight = best_;
+    out.valid = true;
+}
+
+} // namespace qec

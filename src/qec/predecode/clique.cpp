@@ -1,70 +1,60 @@
 #include "qec/predecode/clique.hpp"
 
 #include <algorithm>
-#include <cmath>
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
+#include "qec/util/arena.hpp"
 
 namespace qec
 {
 
-PredecodeResult
+void
 CliquePredecoder::predecode(std::span<const uint32_t> defects,
-                            long long cycle_budget)
+                            long long cycle_budget,
+                            DecodeWorkspace &workspace,
+                            PredecodeResult &result)
 {
     (void)cycle_budget;
-    PredecodeResult result;
+    result.reset();
     result.rounds = 1;
     // Clique's per-parity-bit logic runs in parallel across bits:
     // constant pipeline depth regardless of HW.
     result.cycles = 2;
 
-    // Local degrees within the defect set.
-    const int n = static_cast<int>(defects.size());
-    std::vector<int> deg(n, 0);
-    std::vector<int> only_neighbor(n, -1);
-    std::vector<uint32_t> pair_edge(n, 0);
-    for (int i = 0; i < n; ++i) {
-        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
-            const GraphEdge &edge = graph_.edges()[eid];
-            if (edge.v == kBoundary) {
-                continue;
-            }
-            const uint32_t other =
-                (edge.u == defects[i]) ? edge.v : edge.u;
-            const auto it = std::lower_bound(defects.begin(),
-                                             defects.end(), other);
-            if (it != defects.end() && *it == other) {
-                ++deg[i];
-                only_neighbor[i] =
-                    static_cast<int>(it - defects.begin());
-                pair_edge[i] = eid;
-            }
-        }
-    }
+    // Defect subgraph (shared, workspace-rebuilt view): Clique only
+    // needs the static in-set degrees and sole neighbors.
+    SyndromeSubgraph &sg = workspace.subgraph;
+    sg.build(graph_, defects);
+    MonotonicArena &arena = workspace.arena;
+    arena.reset();
+    const int n = sg.size();
 
     // Simple patterns: isolated pairs, or lone defects one hop from
     // the boundary. All-or-nothing (NSM).
     uint64_t obs = 0;
     double weight = 0.0;
-    std::vector<bool> covered(n, false);
+    uint8_t *covered = arena.allocate<uint8_t>(n);
+    std::fill_n(covered, n, uint8_t{0});
     for (int i = 0; i < n; ++i) {
         if (covered[i]) {
             continue;
         }
-        if (deg[i] == 1) {
-            const int j = only_neighbor[i];
-            if (deg[j] == 1 && only_neighbor[j] == i) {
-                covered[i] = true;
-                covered[j] = true;
-                obs ^= graph_.edges()[pair_edge[i]].obsMask;
-                weight += graph_.edges()[pair_edge[i]].weight;
+        if (sg.degree(i) == 1) {
+            const int j = sg.soleNeighbor(i);
+            if (sg.degree(j) == 1 && sg.soleNeighbor(j) == i) {
+                covered[i] = 1;
+                covered[j] = 1;
+                const GraphEdge &edge =
+                    graph_.edges()[sg.soleEdge(i)];
+                obs ^= edge.obsMask;
+                weight += edge.weight;
                 continue;
             }
-        } else if (deg[i] == 0) {
+        } else if (sg.degree(i) == 0) {
             const int beid = graph_.boundaryEdge(defects[i]);
             if (beid >= 0) {
-                covered[i] = true;
+                covered[i] = 1;
                 obs ^= graph_.edges()[beid].obsMask;
                 weight += graph_.edges()[beid].weight;
                 continue;
@@ -72,9 +62,8 @@ CliquePredecoder::predecode(std::span<const uint32_t> defects,
         }
     }
 
-    const bool all_covered =
-        std::all_of(covered.begin(), covered.end(),
-                    [](bool c) { return c; });
+    const bool all_covered = std::all_of(
+        covered, covered + n, [](uint8_t c) { return c != 0; });
     if (all_covered) {
         result.decodedAll = true;
         result.obsMask = obs;
@@ -83,7 +72,6 @@ CliquePredecoder::predecode(std::span<const uint32_t> defects,
         result.forwarded = true;
         result.residual.assign(defects.begin(), defects.end());
     }
-    return result;
 }
 
 QEC_REGISTER_PREDECODER(

@@ -25,8 +25,11 @@ class CliquePredecoder : public Predecoder
   public:
     using Predecoder::Predecoder;
 
-    PredecodeResult predecode(std::span<const uint32_t> defects,
-                              long long cycle_budget) override;
+    using Predecoder::predecode;
+    void predecode(std::span<const uint32_t> defects,
+                   long long cycle_budget,
+                   DecodeWorkspace &workspace,
+                   PredecodeResult &result) override;
 
     std::unique_ptr<Predecoder>
     clone() const override

@@ -1,58 +1,48 @@
 #include "qec/predecode/hierarchical.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
+#include "qec/util/arena.hpp"
 
 namespace qec
 {
 
-PredecodeResult
+void
 HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
-                                  long long cycle_budget)
+                                  long long cycle_budget,
+                                  DecodeWorkspace &workspace,
+                                  PredecodeResult &result)
 {
     (void)cycle_budget;
-    PredecodeResult result;
+    result.reset();
     result.rounds = 1;
     // Per-bit local logic evaluates in parallel (constant depth).
     result.cycles = 2;
 
     const auto &coords = graph_.coords();
-    const int n = static_cast<int>(defects.size());
-    std::vector<int> deg(n, 0);
-    std::vector<int> only_neighbor(n, -1);
-    std::vector<uint32_t> pair_edge(n, 0);
-    for (int i = 0; i < n; ++i) {
-        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
-            const GraphEdge &edge = graph_.edges()[eid];
-            if (edge.v == kBoundary) {
-                continue;
-            }
-            const uint32_t other =
-                (edge.u == defects[i]) ? edge.v : edge.u;
-            const auto it = std::lower_bound(defects.begin(),
-                                             defects.end(), other);
-            if (it != defects.end() && *it == other) {
-                ++deg[i];
-                only_neighbor[i] =
-                    static_cast<int>(it - defects.begin());
-                pair_edge[i] = eid;
-            }
-        }
-    }
+    SyndromeSubgraph &sg = workspace.subgraph;
+    sg.build(graph_, defects);
+    MonotonicArena &arena = workspace.arena;
+    arena.reset();
+    const int n = sg.size();
 
     // A pair is "weight-1 local" if both bits have each other as the
     // unique neighbor and the pair is either time-like (same
     // stabilizer, adjacent layers) or space-like within one layer.
     uint64_t obs = 0;
     double weight = 0.0;
-    std::vector<bool> covered(n, false);
+    uint8_t *covered = arena.allocate<uint8_t>(n);
+    std::fill_n(covered, n, uint8_t{0});
     for (int i = 0; i < n; ++i) {
-        if (covered[i] || deg[i] != 1) {
+        if (covered[i] || sg.degree(i) != 1) {
             continue;
         }
-        const int j = only_neighbor[i];
-        if (covered[j] || deg[j] != 1 || only_neighbor[j] != i) {
+        const int j = sg.soleNeighbor(i);
+        if (covered[j] || sg.degree(j) != 1 ||
+            sg.soleNeighbor(j) != i) {
             continue;
         }
         bool local = true;
@@ -65,15 +55,17 @@ HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
             local = timelike || spacelike;
         }
         if (local) {
-            covered[i] = true;
-            covered[j] = true;
-            obs ^= graph_.edges()[pair_edge[i]].obsMask;
-            weight += graph_.edges()[pair_edge[i]].weight;
+            covered[i] = 1;
+            covered[j] = 1;
+            const GraphEdge &edge =
+                graph_.edges()[sg.soleEdge(i)];
+            obs ^= edge.obsMask;
+            weight += edge.weight;
         }
     }
 
-    if (std::all_of(covered.begin(), covered.end(),
-                    [](bool c) { return c; })) {
+    if (std::all_of(covered, covered + n,
+                    [](uint8_t c) { return c != 0; })) {
         result.decodedAll = true;
         result.obsMask = obs;
         result.weight = weight;
@@ -81,7 +73,6 @@ HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
         result.forwarded = true;
         result.residual.assign(defects.begin(), defects.end());
     }
-    return result;
 }
 
 QEC_REGISTER_PREDECODER(

@@ -1,0 +1,30 @@
+#include "qec/predecode/predecoder.hpp"
+
+#include "qec/decoders/workspace.hpp"
+
+namespace qec
+{
+
+// Out of line: DecodeWorkspace is only forward-declared where the
+// interface is defined.
+Predecoder::Predecoder(const DecodingGraph &graph,
+                       const PathTable &paths)
+    : graph_(graph), paths_(paths)
+{
+}
+
+Predecoder::~Predecoder() = default;
+
+PredecodeResult
+Predecoder::predecode(std::span<const uint32_t> defects,
+                      long long cycle_budget)
+{
+    if (!workspace_) {
+        workspace_ = std::make_unique<DecodeWorkspace>();
+    }
+    PredecodeResult result;
+    predecode(defects, cycle_budget, *workspace_, result);
+    return result;
+}
+
+} // namespace qec

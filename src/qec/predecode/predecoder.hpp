@@ -10,8 +10,12 @@
  *
  * Like decoders, predecoders keep no per-call state (everything the
  * caller needs comes back in the PredecodeResult) and are cloneable
- * so composed stacks can be replicated across threads. New
- * predecoders self-register with the component registry in their own
+ * so composed stacks can be replicated across threads. The hot
+ * `predecode()` overload borrows a caller-owned DecodeWorkspace and
+ * fills a caller-owned PredecodeResult in place — with warm buffers
+ * this is allocation-free; the historical returning overload runs
+ * on a lazily created internal workspace. New predecoders
+ * self-register with the component registry in their own
  * translation unit (see qec/api/registry.hpp).
  */
 
@@ -50,29 +54,58 @@ struct PredecodeResult
     bool decodedAll = false;
     /** Steps used (meaningful for Promatch). */
     StepUsage steps;
+
+    /** Clear for reuse, keeping residual capacity. */
+    void
+    reset()
+    {
+        residual.clear();
+        obsMask = 0;
+        weight = 0.0;
+        cycles = 0;
+        rounds = 0;
+        forwarded = false;
+        decodedAll = false;
+        steps = {};
+    }
 };
 
 /** Abstract predecoder over a fixed decoding graph. */
 class Predecoder
 {
   public:
-    Predecoder(const DecodingGraph &graph, const PathTable &paths)
-        : graph_(graph), paths_(paths)
-    {
-    }
-    virtual ~Predecoder() = default;
+    // Out of line: the workspace_ member's deleter needs the full
+    // DecodeWorkspace type (see predecoder.cpp).
+    Predecoder(const DecodingGraph &graph, const PathTable &paths);
+    virtual ~Predecoder();
 
     /**
-     * Predecode a syndrome.
+     * Predecode a syndrome into a caller-owned result, borrowing
+     * the caller's workspace for all scratch state.
      *
      * @param defects       sorted flipped-detector indices
-     * @param cycle_budget  pipeline cycles available before the main
-     *                      decoder must still fit (adaptive SM
-     *                      predecoders use this; NSM ones ignore it)
+     * @param cycle_budget  pipeline cycles available before the
+     *                      main decoder must still fit (adaptive SM
+     *                      predecoders use this; NSM ones ignore
+     *                      it)
+     * @param workspace     caller-owned scratch (not shareable
+     *                      between threads); warm buffers make the
+     *                      call allocation-free
+     * @param result        reset and filled in place, reusing its
+     *                      residual capacity
      */
-    virtual PredecodeResult predecode(
-        std::span<const uint32_t> defects,
-        long long cycle_budget) = 0;
+    virtual void predecode(std::span<const uint32_t> defects,
+                           long long cycle_budget,
+                           DecodeWorkspace &workspace,
+                           PredecodeResult &result) = 0;
+
+    /**
+     * Historical returning overload: runs on this instance's
+     * lazily created internal workspace. Bit-identical with the
+     * workspace overload.
+     */
+    PredecodeResult predecode(std::span<const uint32_t> defects,
+                              long long cycle_budget);
 
     /** Independent copy with identical configuration. */
     virtual std::unique_ptr<Predecoder> clone() const = 0;
@@ -82,6 +115,9 @@ class Predecoder
   protected:
     const DecodingGraph &graph_;
     const PathTable &paths_;
+
+  private:
+    std::unique_ptr<DecodeWorkspace> workspace_;
 };
 
 } // namespace qec

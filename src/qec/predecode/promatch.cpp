@@ -4,190 +4,28 @@
 #include <cmath>
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
 #include "qec/matching/matching_problem.hpp"
+#include "qec/util/arena.hpp"
 #include "qec/util/assert.hpp"
 
 namespace qec
 {
 
-namespace
-{
-
-/** Decoding-subgraph state shared by the per-round logic. */
-struct Subgraph
-{
-    const DecodingGraph &graph;
-    std::vector<uint32_t> dets;   //!< Local index -> detector.
-    std::vector<bool> alive;
-    /** Local adjacency: (neighbor local index, edge id). */
-    std::vector<std::vector<std::pair<int, uint32_t>>> adj;
-    std::vector<int> deg;
-    std::vector<int> dependent;
-    int aliveCount = 0;
-
-    Subgraph(const DecodingGraph &g,
-             std::span<const uint32_t> defects)
-        : graph(g), dets(defects.begin(), defects.end()),
-          alive(defects.size(), true),
-          adj(defects.size()), deg(defects.size(), 0),
-          dependent(defects.size(), 0),
-          aliveCount(static_cast<int>(defects.size()))
-    {
-        // Local index lookup (defects are sorted).
-        for (size_t i = 0; i < dets.size(); ++i) {
-            for (uint32_t eid : graph.adjacentEdges(dets[i])) {
-                const GraphEdge &edge = graph.edges()[eid];
-                if (edge.v == kBoundary) {
-                    continue;
-                }
-                const uint32_t other =
-                    (edge.u == dets[i]) ? edge.v : edge.u;
-                const auto it = std::lower_bound(
-                    dets.begin(), dets.end(), other);
-                if (it != dets.end() && *it == other) {
-                    const int j =
-                        static_cast<int>(it - dets.begin());
-                    if (j > static_cast<int>(i)) {
-                        adj[i].push_back({j, eid});
-                        adj[j].push_back({static_cast<int>(i),
-                                          eid});
-                    }
-                }
-            }
-        }
-        refresh();
-    }
-
-    /** Recompute degrees and #dependent counters (Fig. 9). */
-    void
-    refresh()
-    {
-        for (size_t i = 0; i < dets.size(); ++i) {
-            if (!alive[i]) {
-                deg[i] = 0;
-                continue;
-            }
-            int d = 0;
-            for (const auto &[j, eid] : adj[i]) {
-                if (alive[j]) {
-                    ++d;
-                }
-            }
-            deg[i] = d;
-        }
-        for (size_t i = 0; i < dets.size(); ++i) {
-            if (!alive[i]) {
-                dependent[i] = 0;
-                continue;
-            }
-            int dep = 0;
-            for (const auto &[j, eid] : adj[i]) {
-                if (alive[j] && deg[j] == 1) {
-                    ++dep;
-                }
-            }
-            dependent[i] = dep;
-        }
-    }
-
-    /** Alive-alive edges of the current subgraph. */
-    std::vector<std::pair<int, int>>
-    aliveEdges() const
-    {
-        std::vector<std::pair<int, int>> edges;
-        for (size_t i = 0; i < dets.size(); ++i) {
-            if (!alive[i]) {
-                continue;
-            }
-            for (const auto &[j, eid] : adj[i]) {
-                if (j > static_cast<int>(i) && alive[j]) {
-                    edges.push_back({static_cast<int>(i), j});
-                }
-            }
-        }
-        return edges;
-    }
-
-    /** Weight/obs of the direct edge between two alive neighbors. */
-    const GraphEdge &
-    edgeOf(int i, int j) const
-    {
-        for (const auto &[k, eid] : adj[i]) {
-            if (k == j) {
-                return graph.edges()[eid];
-            }
-        }
-        QEC_PANIC("edgeOf called on non-adjacent pair");
-    }
-
-    /** Hardware singleton check (Fig. 11): would matching (i, j)
-     *  strand a degree-1 neighbor? */
-    bool
-    createsSingletonHw(int i, int j) const
-    {
-        const int di = dependent[i] - (deg[j] == 1 ? 1 : 0);
-        const int dj = dependent[j] - (deg[i] == 1 ? 1 : 0);
-        return di + dj > 0;
-    }
-
-    /** Exact singleton check: recompute each neighbor's degree after
-     *  removing i and j. Also catches a shared degree-2 neighbor,
-     *  which the hardware counters miss. */
-    bool
-    createsSingletonExact(int i, int j) const
-    {
-        const auto strands_neighbor_of = [&](int a, int b) {
-            for (const auto &[k, eid] : adj[a]) {
-                if (k == b || !alive[k]) {
-                    continue;
-                }
-                const int new_deg = deg[k] - 1 -
-                                    (adjacent(k, b) ? 1 : 0);
-                if (new_deg == 0) {
-                    return true;
-                }
-            }
-            return false;
-        };
-        return strands_neighbor_of(i, j) || strands_neighbor_of(j, i);
-    }
-
-    bool
-    adjacent(int a, int b) const
-    {
-        for (const auto &[k, eid] : adj[a]) {
-            if (k == b) {
-                return alive[b];
-            }
-        }
-        return false;
-    }
-
-    /** Would removing only node j (a Step-3 pair partner) strand a
-     *  neighbor of j? */
-    bool
-    removalCreatesSingleton(int j) const
-    {
-        return dependent[j] > 0;
-    }
-
-    void
-    kill(int i)
-    {
-        QEC_ASSERT(alive[i], "killing a dead node");
-        alive[i] = false;
-        --aliveCount;
-    }
-};
-
-} // namespace
-
-PredecodeResult
+void
 PromatchPredecoder::predecode(std::span<const uint32_t> defects,
-                              long long cycle_budget)
+                              long long cycle_budget,
+                              DecodeWorkspace &workspace,
+                              PredecodeResult &result)
 {
-    PredecodeResult result;
-    Subgraph sg(graph_, defects);
+    result.reset();
+    SyndromeSubgraph &sg = workspace.subgraph;
+    sg.build(graph_, defects);
+    // All per-round lists below are arena transients; they die with
+    // this call, and the arena keeps its high-water capacity across
+    // decodes (zero allocations once warm).
+    MonotonicArena &arena = workspace.arena;
+    arena.reset();
     bool engaged = false;
 
     // Adaptive HW target (§4.1): the largest T the main decoder can
@@ -219,14 +57,19 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
                    : sg.createsSingletonHw(i, j);
     };
 
+    ArenaVector<std::pair<int, int>> edges(arena, 64);
+    ArenaVector<std::pair<int, int>> isolated(arena, 16);
+    ArenaVector<int> singletons(arena, 16);
+
     int guard = 0;
     while (true) {
         QEC_ASSERT(++guard < 4096, "promatch failed to terminate");
-        const int hw = sg.aliveCount;
+        const int hw = sg.aliveCount();
         if (hw <= target_now(result.cycles)) {
             break;
         }
-        const auto edges = sg.aliveEdges();
+        edges.clear();
+        sg.appendAliveEdges(edges);
 
         if (!engaged) {
             // Subgraph generation and edge-table loads (§4.2) are
@@ -244,16 +87,16 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
         sg.refresh();
 
         // --- Step 1: isolated pairs, applied as a batch.
-        std::vector<std::pair<int, int>> isolated;
+        isolated.clear();
         for (const auto &[i, j] : edges) {
-            if (sg.deg[i] == 1 && sg.deg[j] == 1) {
+            if (sg.degree(i) == 1 && sg.degree(j) == 1) {
                 isolated.push_back({i, j});
             }
         }
         if (!isolated.empty()) {
             result.steps.step1 = true;
             for (const auto &[i, j] : isolated) {
-                if (sg.aliveCount <= target_now(result.cycles)) {
+                if (sg.aliveCount() <= target_now(result.cycles)) {
                     break;
                 }
                 match_pair(i, j);
@@ -277,7 +120,7 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
         for (const auto &[i, j] : edges) {
             const double w = sg.edgeOf(i, j).weight;
             const bool deg1 =
-                std::min(sg.deg[i], sg.deg[j]) == 1;
+                std::min(sg.degree(i), sg.degree(j)) == 1;
             if (!creates_singleton(i, j)) {
                 consider(deg1 ? c21 : c22, i, j, w);
             } else {
@@ -296,10 +139,10 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
         Step3Candidate c3;
         bool used_step3_scan = false;
         if (config_.enableStep3 && c21.i < 0 && c22.i < 0) {
-            std::vector<int> singletons;
-            for (size_t i = 0; i < sg.dets.size(); ++i) {
-                if (sg.alive[i] && sg.deg[i] == 0) {
-                    singletons.push_back(static_cast<int>(i));
+            singletons.clear();
+            for (int i = 0; i < sg.size(); ++i) {
+                if (sg.alive(i) && sg.degree(i) == 0) {
+                    singletons.push_back(i);
                 }
             }
             if (!singletons.empty()) {
@@ -309,23 +152,22 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
                     // Boundary is always a legal partner.
                     ++paths;
                     const double bw =
-                        paths_.distToBoundary(sg.dets[s]);
+                        paths_.distToBoundary(sg.det(s));
                     if (std::isfinite(bw) && bw < c3.weight) {
                         c3 = {bw, s, -1};
                     }
-                    for (size_t i = 0; i < sg.dets.size(); ++i) {
-                        const int ii = static_cast<int>(i);
-                        if (!sg.alive[i] || ii == s) {
+                    for (int i = 0; i < sg.size(); ++i) {
+                        if (!sg.alive(i) || i == s) {
                             continue;
                         }
                         ++paths;
-                        if (sg.removalCreatesSingleton(ii)) {
+                        if (sg.removalCreatesSingleton(i)) {
                             continue;
                         }
-                        const double w = paths_.dist(
-                            sg.dets[s], sg.dets[i]);
+                        const double w =
+                            paths_.dist(sg.det(s), sg.det(i));
                         if (std::isfinite(w) && w < c3.weight) {
-                            c3 = {w, s, ii};
+                            c3 = {w, s, i};
                         }
                     }
                 }
@@ -353,12 +195,12 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
             result.steps.step3 = true;
             if (c3.partner < 0) {
                 result.obsMask ^=
-                    paths_.boundaryObs(sg.dets[c3.singleton]);
+                    paths_.boundaryObs(sg.det(c3.singleton));
                 result.weight += c3.weight;
                 sg.kill(c3.singleton);
             } else {
                 result.obsMask ^= paths_.pathObs(
-                    sg.dets[c3.singleton], sg.dets[c3.partner]);
+                    sg.det(c3.singleton), sg.det(c3.partner));
                 result.weight += c3.weight;
                 sg.kill(c3.singleton);
                 sg.kill(c3.partner);
@@ -374,12 +216,11 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
         }
     }
 
-    for (size_t i = 0; i < sg.dets.size(); ++i) {
-        if (sg.alive[i]) {
-            result.residual.push_back(sg.dets[i]);
+    for (int i = 0; i < sg.size(); ++i) {
+        if (sg.alive(i)) {
+            result.residual.push_back(sg.det(i));
         }
     }
-    return result;
 }
 
 QEC_REGISTER_PREDECODER(

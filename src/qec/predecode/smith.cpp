@@ -3,42 +3,52 @@
 #include <algorithm>
 
 #include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
+#include "qec/util/arena.hpp"
 
 namespace qec
 {
 
-PredecodeResult
+namespace
+{
+
+/** A defect-defect adjacency, sortable by weight. */
+struct LocalEdge
+{
+    double weight;
+    uint32_t eid;
+    int i, j;
+};
+
+} // namespace
+
+void
 SmithPredecoder::predecode(std::span<const uint32_t> defects,
-                           long long cycle_budget)
+                           long long cycle_budget,
+                           DecodeWorkspace &workspace,
+                           PredecodeResult &result)
 {
     (void)cycle_budget; // Not adaptive: one fixed pass.
-    PredecodeResult result;
+    result.reset();
     result.rounds = 1;
 
-    // Collect subgraph edges (defect-defect adjacencies).
-    struct LocalEdge
-    {
-        double weight;
-        uint32_t eid;
-        int i, j;
-    };
-    std::vector<LocalEdge> edges;
-    for (size_t i = 0; i < defects.size(); ++i) {
-        for (uint32_t eid : graph_.adjacentEdges(defects[i])) {
-            const GraphEdge &edge = graph_.edges()[eid];
-            if (edge.v == kBoundary) {
-                continue;
-            }
-            const uint32_t other =
-                (edge.u == defects[i]) ? edge.v : edge.u;
-            const auto it = std::lower_bound(defects.begin(),
-                                             defects.end(), other);
-            if (it != defects.end() && *it == other) {
-                const int j = static_cast<int>(it - defects.begin());
-                if (j > static_cast<int>(i)) {
-                    edges.push_back({edge.weight, eid,
-                                     static_cast<int>(i), j});
-                }
+    // Collect subgraph edges (defect-defect adjacencies) from the
+    // shared workspace-rebuilt subgraph view.
+    SyndromeSubgraph &sg = workspace.subgraph;
+    sg.build(graph_, defects);
+    MonotonicArena &arena = workspace.arena;
+    arena.reset();
+    const int n = sg.size();
+
+    ArenaVector<LocalEdge> edges(arena, 64);
+    for (int i = 0; i < n; ++i) {
+        for (int32_t o = 0; o < sg.degree(i); ++o) {
+            const int j = sg.neighbors(i)[o];
+            if (j > i) {
+                const GraphEdge &edge =
+                    graph_.edges()[sg.edgeIdAt(i, o)];
+                edges.push_back(
+                    {edge.weight, edge.id, i, j});
             }
         }
     }
@@ -49,23 +59,23 @@ SmithPredecoder::predecode(std::span<const uint32_t> defects,
                   return a.weight < b.weight;
               });
 
-    std::vector<bool> matched(defects.size(), false);
+    uint8_t *matched = arena.allocate<uint8_t>(n);
+    std::fill_n(matched, n, uint8_t{0});
     for (const LocalEdge &edge : edges) {
         if (matched[edge.i] || matched[edge.j]) {
             continue;
         }
-        matched[edge.i] = true;
-        matched[edge.j] = true;
+        matched[edge.i] = 1;
+        matched[edge.j] = 1;
         result.obsMask ^= graph_.edges()[edge.eid].obsMask;
         result.weight += graph_.edges()[edge.eid].weight;
     }
 
-    for (size_t i = 0; i < defects.size(); ++i) {
+    for (int i = 0; i < n; ++i) {
         if (!matched[i]) {
             result.residual.push_back(defects[i]);
         }
     }
-    return result;
 }
 
 QEC_REGISTER_PREDECODER(

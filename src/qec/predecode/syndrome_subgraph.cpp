@@ -1,0 +1,146 @@
+#include "qec/predecode/syndrome_subgraph.hpp"
+
+#include <algorithm>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+void
+SyndromeSubgraph::build(const DecodingGraph &graph,
+                        std::span<const uint32_t> defects)
+{
+    graph_ = &graph;
+    dets_.assign(defects.begin(), defects.end());
+    const int n = size();
+    alive_.assign(n, 1);
+    aliveCount_ = n;
+    adjOffset_.assign(n + 1, 0);
+    deg_.assign(n, 0);
+    dependent_.assign(n, 0);
+
+    // Single membership-search pass, appending straight into the
+    // CSR arrays: the outer loop visits rows in ascending order,
+    // so the entries land already grouped and only the offsets
+    // need a prefix sum. Row i holds every in-set neighbor of
+    // defect i, in the order of graph.adjacentEdges(dets[i]) —
+    // defects are sorted, so membership is one binary search per
+    // incident edge.
+    const auto local_of = [&](uint32_t other) -> int {
+        const auto it = std::lower_bound(dets_.begin(),
+                                         dets_.end(), other);
+        if (it != dets_.end() && *it == other) {
+            return static_cast<int>(it - dets_.begin());
+        }
+        return -1;
+    };
+    adjNode_.clear();
+    adjEdge_.clear();
+    for (int i = 0; i < n; ++i) {
+        for (uint32_t eid : graph.adjacentEdges(dets_[i])) {
+            const GraphEdge &edge = graph.edges()[eid];
+            if (edge.v == kBoundary) {
+                continue;
+            }
+            const uint32_t other =
+                (edge.u == dets_[i]) ? edge.v : edge.u;
+            const int j = local_of(other);
+            if (j >= 0) {
+                adjNode_.push_back(j);
+                adjEdge_.push_back(eid);
+                ++adjOffset_[i + 1];
+            }
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        adjOffset_[i + 1] += adjOffset_[i];
+    }
+    for (int i = 0; i < n; ++i) {
+        deg_[i] = adjOffset_[i + 1] - adjOffset_[i];
+    }
+    refresh();
+}
+
+void
+SyndromeSubgraph::refresh()
+{
+    const int n = size();
+    for (int i = 0; i < n; ++i) {
+        if (!alive_[i]) {
+            deg_[i] = 0;
+            continue;
+        }
+        int d = 0;
+        for (int j : neighbors(i)) {
+            if (alive_[j]) {
+                ++d;
+            }
+        }
+        deg_[i] = d;
+    }
+    for (int i = 0; i < n; ++i) {
+        if (!alive_[i]) {
+            dependent_[i] = 0;
+            continue;
+        }
+        int dep = 0;
+        for (int j : neighbors(i)) {
+            if (alive_[j] && deg_[j] == 1) {
+                ++dep;
+            }
+        }
+        dependent_[i] = dep;
+    }
+}
+
+const GraphEdge &
+SyndromeSubgraph::edgeOf(int i, int j) const
+{
+    for (int32_t o = adjOffset_[i]; o < adjOffset_[i + 1]; ++o) {
+        if (adjNode_[o] == j) {
+            return graph_->edges()[adjEdge_[o]];
+        }
+    }
+    QEC_PANIC("edgeOf called on non-adjacent pair");
+}
+
+bool
+SyndromeSubgraph::createsSingletonExact(int i, int j) const
+{
+    const auto strands_neighbor_of = [&](int a, int b) {
+        for (int k : neighbors(a)) {
+            if (k == b || !alive_[k]) {
+                continue;
+            }
+            const int new_deg =
+                deg_[k] - 1 - (adjacent(k, b) ? 1 : 0);
+            if (new_deg == 0) {
+                return true;
+            }
+        }
+        return false;
+    };
+    return strands_neighbor_of(i, j) || strands_neighbor_of(j, i);
+}
+
+bool
+SyndromeSubgraph::adjacent(int a, int b) const
+{
+    for (int k : neighbors(a)) {
+        if (k == b) {
+            return alive_[b] != 0;
+        }
+    }
+    return false;
+}
+
+void
+SyndromeSubgraph::kill(int i)
+{
+    QEC_ASSERT(alive_[i], "killing a dead node");
+    alive_[i] = 0;
+    --aliveCount_;
+}
+
+} // namespace qec

@@ -31,6 +31,7 @@
 #include "qec/decoders/parallel.hpp"
 #include "qec/decoders/pipeline.hpp"
 #include "qec/decoders/union_find.hpp"
+#include "qec/decoders/workspace.hpp"
 #include "qec/dem/decompose.hpp"
 #include "qec/dem/dem.hpp"
 #include "qec/gf2/gf2.hpp"
@@ -45,11 +46,14 @@
 #include "qec/matching/blossom.hpp"
 #include "qec/matching/defect_graph.hpp"
 #include "qec/matching/exhaustive.hpp"
+#include "qec/matching/near_exhaustive.hpp"
 #include "qec/pauli/pauli.hpp"
 #include "qec/predecode/clique.hpp"
 #include "qec/predecode/hierarchical.hpp"
 #include "qec/predecode/promatch.hpp"
 #include "qec/predecode/smith.hpp"
+#include "qec/predecode/syndrome_subgraph.hpp"
+#include "qec/util/arena.hpp"
 #include "qec/sim/error_enumerator.hpp"
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/surface/circuit_gen.hpp"

@@ -1,0 +1,79 @@
+#include "qec/util/arena.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+void
+MonotonicArena::addChunk(size_t min_bytes)
+{
+    size_t size = chunks_.empty()
+                      ? std::max(initialBytes_, min_bytes)
+                      : std::max(chunks_.back().size * 2,
+                                 min_bytes);
+    Chunk chunk;
+    chunk.data = std::make_unique<std::byte[]>(size);
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+}
+
+void *
+MonotonicArena::allocate(size_t bytes, size_t align)
+{
+    if (bytes == 0) {
+        bytes = 1;
+    }
+    while (true) {
+        if (active_ < chunks_.size()) {
+            Chunk &chunk = chunks_[active_];
+            // Align the actual address, not the chunk offset — the
+            // chunk base is only guaranteed the default operator
+            // new alignment, so offset-aligning would silently
+            // misalign any stricter request (e.g. SIMD types).
+            const uintptr_t base = reinterpret_cast<uintptr_t>(
+                chunk.data.get());
+            const uintptr_t aligned =
+                (base + cursor_ + align - 1) & ~(align - 1);
+            const size_t offset = aligned - base;
+            if (offset + bytes <= chunk.size) {
+                cursor_ = offset + bytes;
+                used_ += bytes;
+                return chunk.data.get() + offset;
+            }
+            // Exhausted: move on (a later chunk may already exist
+            // from a previous cycle's high-water mark).
+            ++active_;
+            cursor_ = 0;
+            continue;
+        }
+        addChunk(bytes + align);
+    }
+}
+
+void
+MonotonicArena::reset()
+{
+    if (chunks_.size() > 1) {
+        // Coalesce so the next cycle fits in one chunk and the
+        // steady state stops allocating.
+        const size_t total = capacity();
+        chunks_.clear();
+        addChunk(total);
+    }
+    active_ = 0;
+    cursor_ = 0;
+    used_ = 0;
+}
+
+size_t
+MonotonicArena::capacity() const
+{
+    size_t total = 0;
+    for (const Chunk &chunk : chunks_) {
+        total += chunk.size;
+    }
+    return total;
+}
+
+} // namespace qec

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Monotonic scratch arena for the zero-allocation decode hot path.
+ *
+ * A MonotonicArena hands out raw bump-allocated storage from a
+ * chunked byte buffer; reset() rewinds the cursor while keeping the
+ * high-water capacity, so a call path that resets the arena at the
+ * top of every decode performs heap allocations only while its
+ * working-set high-water mark is still growing ("warmup"), and none
+ * at all in steady state.
+ *
+ * ArenaVector<T> is the typed scratch-vector companion: a small
+ * push_back container whose storage lives in the arena. Growth
+ * re-bumps a doubled span and copies (the old span is simply
+ * abandoned until the next reset — the arena is monotonic), so it
+ * is intended for transient per-decode lists whose lifetime ends
+ * before the owning component returns.
+ *
+ * Neither type is thread-safe; the decode path gives every worker
+ * thread its own DecodeWorkspace (and therefore its own arena).
+ */
+
+#ifndef QEC_UTIL_ARENA_HPP
+#define QEC_UTIL_ARENA_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace qec
+{
+
+/** Chunked bump allocator; reset() keeps the high-water capacity. */
+class MonotonicArena
+{
+  public:
+    explicit MonotonicArena(size_t initial_bytes = 4096)
+        : initialBytes_(initial_bytes)
+    {
+    }
+
+    MonotonicArena(const MonotonicArena &) = delete;
+    MonotonicArena &operator=(const MonotonicArena &) = delete;
+
+    /**
+     * Bump-allocate `bytes` aligned to `align` (a power of two).
+     * The storage is uninitialized and valid until the next
+     * reset(). Allocates a new chunk only when the current one is
+     * exhausted.
+     */
+    void *allocate(size_t bytes, size_t align);
+
+    /** Typed helper: uninitialized storage for `count` Ts. */
+    template <typename T>
+    T *
+    allocate(size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena storage is never destructed");
+        return static_cast<T *>(
+            allocate(count * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, keeping capacity. When the last cycle
+     * overflowed into extra chunks, they are coalesced into one
+     * chunk of the total size (a single allocation now instead of
+     * repeated overflow later), so the per-cycle allocation count
+     * converges to zero as the working set stabilizes.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset. */
+    size_t used() const { return used_; }
+
+    /** Total chunk capacity currently owned. */
+    size_t capacity() const;
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        size_t size = 0;
+    };
+
+    void addChunk(size_t min_bytes);
+
+    std::vector<Chunk> chunks_;
+    size_t initialBytes_;
+    size_t active_ = 0; //!< Index of the chunk being bumped.
+    size_t cursor_ = 0; //!< Bump offset within the active chunk.
+    size_t used_ = 0;
+};
+
+/**
+ * Growable typed scratch over a MonotonicArena. Supports the few
+ * operations the decode path needs (push_back, clear, indexing,
+ * iteration); growth abandons the old span inside the arena.
+ */
+template <typename T>
+class ArenaVector
+{
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destructed");
+
+  public:
+    explicit ArenaVector(MonotonicArena &arena,
+                         size_t initial_capacity = 8)
+        : arena_(&arena)
+    {
+        capacity_ = initial_capacity < 4 ? 4 : initial_capacity;
+        data_ = arena_->allocate<T>(capacity_);
+    }
+
+    // Copies would alias the same arena span and then grow apart;
+    // pass ArenaVectors by reference.
+    ArenaVector(const ArenaVector &) = delete;
+    ArenaVector &operator=(const ArenaVector &) = delete;
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == capacity_) {
+            grow();
+        }
+        ::new (static_cast<void *>(data_ + size_)) T(value);
+        ++size_;
+    }
+
+    void clear() { size_ = 0; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+  private:
+    void
+    grow()
+    {
+        const size_t next = capacity_ * 2;
+        T *moved = arena_->allocate<T>(next);
+        for (size_t i = 0; i < size_; ++i) {
+            ::new (static_cast<void *>(moved + i)) T(data_[i]);
+        }
+        data_ = moved;
+        capacity_ = next;
+    }
+
+    MonotonicArena *arena_;
+    T *data_ = nullptr;
+    size_t size_ = 0;
+    size_t capacity_ = 0;
+};
+
+} // namespace qec
+
+#endif // QEC_UTIL_ARENA_HPP

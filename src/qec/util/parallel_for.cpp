@@ -1,6 +1,7 @@
 #include "qec/util/parallel_for.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -41,21 +42,36 @@ parallelFor(
         body(0, n, 0);
         return;
     }
-    // Contiguous static partition: slice w is [n*w/W, n*(w+1)/W),
-    // a pure function of (n, W) — deterministic work assignment.
+    // Work-stealing chunk queue: workers repeatedly claim the next
+    // chunk from an atomic counter until the range is exhausted.
+    // ~8 chunks per worker keeps claim overhead negligible while
+    // letting fast workers absorb skewed per-index costs. Every
+    // index is still covered exactly once; per-index results are
+    // scheduling-independent (see the header's determinism
+    // contract).
+    const size_t chunk = std::max<size_t>(
+        1, (n + static_cast<size_t>(workers) * 8 - 1) /
+               (static_cast<size_t>(workers) * 8));
+    std::atomic<size_t> next{0};
+    const auto drain = [&body, &next, n, chunk](int worker) {
+        while (true) {
+            const size_t begin =
+                next.fetch_add(chunk,
+                               std::memory_order_relaxed);
+            if (begin >= n) {
+                return;
+            }
+            body(begin, std::min(n, begin + chunk), worker);
+        }
+    };
     // Workers 1..W-1 get their own threads; the calling thread
-    // runs slice 0 itself instead of idling in join().
+    // drains alongside them instead of idling in join().
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (int w = 1; w < workers; ++w) {
-        const size_t begin =
-            n * static_cast<size_t>(w) / workers;
-        const size_t end =
-            n * (static_cast<size_t>(w) + 1) / workers;
-        pool.emplace_back(
-            [&body, begin, end, w]() { body(begin, end, w); });
+        pool.emplace_back([&drain, w]() { drain(w); });
     }
-    body(0, n / static_cast<size_t>(workers), 0);
+    drain(0);
     for (std::thread &t : pool) {
         t.join();
     }

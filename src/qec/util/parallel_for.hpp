@@ -3,13 +3,21 @@
  * Deterministic fork/join helper shared by the batched decode path
  * and the LER evaluation engine.
  *
- * parallelFor splits [0, n) into at most `threads` contiguous
- * slices and runs the body once per slice, each slice on its own
- * worker thread (inline on the calling thread when a single worker
- * suffices). The partition is a pure function of (n, threads), so
- * callers that key per-index work off the index itself — e.g.
- * counter-based RNG streams via Rng::forSample — produce results
- * that are bit-identical for any thread count.
+ * parallelFor runs `body` over chunks of [0, n) pulled from a
+ * shared atomic counter (work stealing): fast workers take more
+ * chunks, so skewed per-index costs — e.g. the Astrea-G high-HW
+ * search tails — no longer idle the other workers the way a static
+ * partition did. A worker may therefore receive several
+ * (begin, end) calls, in any order.
+ *
+ * Determinism contract: which worker runs which chunk is
+ * scheduling-dependent, so bodies must key all per-index work off
+ * the index itself (e.g. counter-based RNG streams via
+ * Rng::forSample) and use per-worker state only for reusable
+ * scratch or commutative accumulation. Every caller in this
+ * codebase follows that rule, which is what keeps estimateLer /
+ * decodeBatch bit-identical for any thread count even with dynamic
+ * scheduling (enforced by tests/test_parallel_ler.cpp).
  */
 
 #ifndef QEC_UTIL_PARALLEL_FOR_HPP
@@ -29,18 +37,23 @@ namespace qec
 int resolveHardwareThreads(int threads);
 
 /**
- * Run `body(begin, end, worker)` over contiguous slices of [0, n).
+ * Run `body(begin, end, worker)` over chunks of [0, n), pulled
+ * from an atomic chunk queue by up to `threads` workers.
  *
  * @param n        iteration-space size; n == 0 returns immediately
  * @param threads  requested worker count; <= 0 means one per
  *                 hardware thread (resolveHardwareThreads), then
  *                 clamped to [1, n]. With one effective worker the
  *                 body runs inline on the calling thread (no
- *                 spawn).
- * @param body     slice handler; `worker` is the slice index in
- *                 [0, workers). The body must only touch state
- *                 disjoint between slices (e.g. per-index output
- *                 cells); exceptions must not escape it.
+ *                 spawn, single call covering [0, n)).
+ * @param body     chunk handler; `worker` is the executing
+ *                 worker's index in [0, workers) and may see
+ *                 several chunks. The body must key per-index work
+ *                 off the index (not the worker or chunk bounds),
+ *                 touch only state disjoint between indices (e.g.
+ *                 per-index output cells) or owned by `worker`,
+ *                 and accumulate per-worker state commutatively;
+ *                 exceptions must not escape it.
  */
 void parallelFor(
     size_t n, int threads,

@@ -189,6 +189,61 @@ TEST(Blossom, InfeasibleWithoutBoundaryOddN)
     EXPECT_FALSE(solveExhaustive(p).valid);
 }
 
+TEST(Blossom, DenseEntryAcceptsEitherTriangle)
+{
+    // maxWeightMatchingDense copies each directed entry as-is, so
+    // a caller filling only one triangle (legal historically) gets
+    // the same matching as a symmetric fill.
+    const int n = 4;
+    std::vector<std::vector<long long>> lower(
+        n + 1, std::vector<long long>(n + 1, 0));
+    // Path 1-2, 3-4 heavy; chord 2-3 light.
+    lower[2][1] = 10;
+    lower[4][3] = 10;
+    lower[3][2] = 1;
+    std::vector<std::vector<long long>> symmetric = lower;
+    for (int u = 1; u <= n; ++u) {
+        for (int v = 1; v <= n; ++v) {
+            if (lower[u][v]) {
+                symmetric[v][u] = lower[u][v];
+            }
+        }
+    }
+    const std::vector<int> from_lower =
+        maxWeightMatchingDense(lower);
+    const std::vector<int> from_symmetric =
+        maxWeightMatchingDense(symmetric);
+    for (int u = 1; u <= n; ++u) {
+        EXPECT_EQ(from_lower[u], from_symmetric[u]) << u;
+    }
+    EXPECT_EQ(from_lower[1], 2);
+    EXPECT_EQ(from_lower[3], 4);
+}
+
+TEST(Blossom, SolverReuseMatchesFreshSolves)
+{
+    // One BlossomSolver cycled over instances of varying size must
+    // reproduce the one-shot results exactly (stale-state guard
+    // for the workspace reuse contract).
+    Rng rng(0xb10550);
+    BlossomSolver solver;
+    MatchingSolution reused;
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = 1 + static_cast<int>(rng.next64() % 10);
+        const MatchingProblem p =
+            randomProblem(rng, n, 0.2, true);
+        solver.solve(p, reused);
+        const MatchingSolution fresh = solveBlossom(p);
+        ASSERT_EQ(reused.valid, fresh.valid) << trial;
+        if (!fresh.valid) {
+            continue;
+        }
+        EXPECT_EQ(reused.mate, fresh.mate) << trial;
+        EXPECT_DOUBLE_EQ(reused.totalWeight, fresh.totalWeight)
+            << trial;
+    }
+}
+
 TEST(Exhaustive, CountsMatchingsWithoutPruning)
 {
     // With uniform weights the pruning bound never fires before a

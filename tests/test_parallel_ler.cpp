@@ -240,7 +240,6 @@ expectSameResult(const DecodeResult &a, const DecodeResult &b,
     EXPECT_EQ(a.latencyNs, b.latencyNs) << label;
     EXPECT_EQ(a.aborted, b.aborted) << label;
     EXPECT_EQ(a.realTime, b.realTime) << label;
-    EXPECT_EQ(a.chainLengths, b.chainLengths) << label;
 }
 
 std::vector<std::vector<uint32_t>>
@@ -285,9 +284,12 @@ TEST(ParallelLer, DecodeBatchMatchesSequentialForEveryRegistrySpec)
         auto decoder = build(DecoderSpec::parse(spec),
                              ctx.graph(), ctx.paths());
         std::vector<DecodeResult> sequential;
+        std::vector<DecodeTrace> sequential_traces(batch.size());
         sequential.reserve(batch.size());
-        for (const auto &defects : batch) {
-            sequential.push_back(decoder->decode(defects));
+        for (size_t i = 0; i < batch.size(); ++i) {
+            sequential.push_back(
+                decoder->decode(batch[i],
+                                &sequential_traces[i]));
         }
         for (int threads : {1, 4}) {
             std::vector<DecodeTrace> traces;
@@ -296,11 +298,18 @@ TEST(ParallelLer, DecodeBatchMatchesSequentialForEveryRegistrySpec)
             ASSERT_EQ(batched.size(), batch.size()) << spec;
             ASSERT_EQ(traces.size(), batch.size()) << spec;
             for (size_t i = 0; i < batch.size(); ++i) {
-                expectSameResult(
-                    sequential[i], batched[i],
+                const std::string label =
                     spec + " threads=" +
-                        std::to_string(threads) + " sample " +
-                        std::to_string(i));
+                    std::to_string(threads) + " sample " +
+                    std::to_string(i);
+                expectSameResult(sequential[i], batched[i],
+                                 label);
+                // Introspection must match too — chain lengths
+                // moved from DecodeResult to DecodeTrace in the
+                // workspace refactor.
+                EXPECT_EQ(sequential_traces[i].chainLengths,
+                          traces[i].chainLengths)
+                    << label;
             }
         }
     }

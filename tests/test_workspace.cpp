@@ -1,0 +1,378 @@
+/**
+ * @file
+ * The DecodeWorkspace memory-contract suite:
+ *
+ *  - a counting global allocator proves that steady-state decoding
+ *    (after a warmup pass over the same syndrome set) performs
+ *    ZERO heap allocations for promatch+astrea, astrea_g, and
+ *    mwpm — both through an explicit caller-owned workspace and
+ *    through the decoder's internal one;
+ *  - decode results are bit-identical with and without an explicit
+ *    workspace, serially and through decodeBatch at threads
+ *    {1, 8};
+ *  - MonotonicArena / ArenaVector unit behavior (reset keeps
+ *    capacity, growth preserves contents);
+ *  - SyndromeSubgraph rebuild-in-place equivalence.
+ *
+ * The allocator instrumentation replaces the global operator
+ * new/delete for this test binary; it only counts, never changes
+ * behavior, and each gtest case runs in its own ctest process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "qec/api/decoder_spec.hpp"
+#include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
+#include "qec/harness/context.hpp"
+#include "qec/harness/importance_sampler.hpp"
+#include "qec/harness/ler_estimator.hpp"
+#include "qec/util/arena.hpp"
+#include "qec/util/rng.hpp"
+
+namespace
+{
+std::atomic<uint64_t> g_allocations{0};
+
+void *
+countedAlloc(std::size_t size)
+{
+    ++g_allocations;
+    void *p = std::malloc(size ? size : 1);
+    if (!p) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+
+void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    ++g_allocations;
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment.
+    const std::size_t padded = (size + align - 1) / align * align;
+    void *p = std::aligned_alloc(align, padded ? padded : align);
+    if (!p) {
+        throw std::bad_alloc();
+    }
+    return p;
+}
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    return countedAlloc(size);
+}
+void *
+operator new[](std::size_t size)
+{
+    return countedAlloc(size);
+}
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return countedAlignedAlloc(size,
+                               static_cast<std::size_t>(align));
+}
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+namespace qec
+{
+namespace
+{
+
+/** Mixed-HW syndrome set; k up to 14 at d = 7 reliably produces
+ *  HW > 10 syndromes, so the Promatch stage genuinely engages. */
+std::vector<std::vector<uint32_t>>
+syndromeSet(const ExperimentContext &ctx)
+{
+    ImportanceSampler sampler(ctx.dem(), 16);
+    std::vector<std::vector<uint32_t>> set;
+    set.emplace_back(); // Empty syndrome.
+    for (int k = 2; k <= 14; k += 2) {
+        for (int i = 0; i < 10; ++i) {
+            Rng rng = Rng::forSample(0x5eed, k, i);
+            set.push_back(sampler.sample(k, rng).defects);
+        }
+    }
+    return set;
+}
+
+const char *const kZeroAllocSpecs[] = {"promatch+astrea",
+                                       "astrea_g", "mwpm"};
+
+TEST(WorkspaceZeroAlloc, ExplicitWorkspaceSteadyState)
+{
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    const auto batch = syndromeSet(ctx);
+    bool saw_high_hw = false;
+    for (const auto &s : batch) {
+        saw_high_hw = saw_high_hw || s.size() > 10;
+    }
+    ASSERT_TRUE(saw_high_hw)
+        << "syndrome set never engages the predecoder";
+
+    for (const char *spec : kZeroAllocSpecs) {
+        auto decoder = build(DecoderSpec::parse(spec),
+                             ctx.graph(), ctx.paths());
+        DecodeWorkspace workspace;
+        // Warmup: every scratch buffer reaches its high-water
+        // capacity for this syndrome set.
+        uint64_t sink = 0;
+        for (const auto &s : batch) {
+            sink ^= decoder->decode(s, workspace).predictedObs;
+        }
+        const uint64_t before = g_allocations.load();
+        for (const auto &s : batch) {
+            sink ^= decoder->decode(s, workspace).predictedObs;
+        }
+        const uint64_t after = g_allocations.load();
+        EXPECT_EQ(after - before, 0u)
+            << spec << " allocated in steady state (sink=" << sink
+            << ")";
+    }
+}
+
+TEST(WorkspaceZeroAlloc, InternalWorkspaceSteadyState)
+{
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    const auto batch = syndromeSet(ctx);
+    for (const char *spec : kZeroAllocSpecs) {
+        auto decoder = build(DecoderSpec::parse(spec),
+                             ctx.graph(), ctx.paths());
+        uint64_t sink = 0;
+        for (const auto &s : batch) {
+            sink ^= decoder->decode(s).predictedObs;
+        }
+        const uint64_t before = g_allocations.load();
+        for (const auto &s : batch) {
+            sink ^= decoder->decode(s).predictedObs;
+        }
+        const uint64_t after = g_allocations.load();
+        EXPECT_EQ(after - before, 0u)
+            << spec << " allocated in steady state (sink=" << sink
+            << ")";
+    }
+}
+
+void
+expectSameResult(const DecodeResult &a, const DecodeResult &b,
+                 const std::string &label)
+{
+    EXPECT_EQ(a.predictedObs, b.predictedObs) << label;
+    EXPECT_EQ(a.weight, b.weight) << label;
+    EXPECT_EQ(a.latencyNs, b.latencyNs) << label;
+    EXPECT_EQ(a.aborted, b.aborted) << label;
+    EXPECT_EQ(a.realTime, b.realTime) << label;
+}
+
+TEST(Workspace, ExplicitAndInternalWorkspacesAreBitIdentical)
+{
+    // The same decoder must produce identical results whether the
+    // caller supplies a (reused) workspace, relies on the internal
+    // one, or decodes through the threaded batch path — at thread
+    // counts 1 and 8.
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    const auto batch = syndromeSet(ctx);
+    for (const char *spec : kZeroAllocSpecs) {
+        auto internal = build(DecoderSpec::parse(spec),
+                              ctx.graph(), ctx.paths());
+        auto explicit_ws = build(DecoderSpec::parse(spec),
+                                 ctx.graph(), ctx.paths());
+        DecodeWorkspace workspace;
+        std::vector<DecodeResult> reference;
+        reference.reserve(batch.size());
+        for (const auto &s : batch) {
+            reference.push_back(internal->decode(s));
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+            expectSameResult(
+                reference[i],
+                explicit_ws->decode(batch[i], workspace),
+                std::string(spec) + " explicit-ws sample " +
+                    std::to_string(i));
+        }
+        for (int threads : {1, 8}) {
+            const std::vector<DecodeResult> batched =
+                internal->decodeBatch(batch, nullptr, threads);
+            ASSERT_EQ(batched.size(), batch.size());
+            for (size_t i = 0; i < batch.size(); ++i) {
+                expectSameResult(
+                    reference[i], batched[i],
+                    std::string(spec) + " threads=" +
+                        std::to_string(threads) + " sample " +
+                        std::to_string(i));
+            }
+        }
+    }
+}
+
+TEST(Workspace, LerEstimateUnchangedByThreadCount)
+{
+    // The harness threads one workspace per worker; the estimate
+    // must stay bit-identical between 1 and 8 workers (the
+    // workspace refactor's regression guard on the engine).
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    for (const char *spec : kZeroAllocSpecs) {
+        auto decoder = build(DecoderSpec::parse(spec),
+                             ctx.graph(), ctx.paths());
+        LerOptions options;
+        options.kMax = 6;
+        options.samplesPerK = 150;
+        options.threads = 1;
+        const LerEstimate serial =
+            estimateLer(ctx, *decoder, options);
+        options.threads = 8;
+        const LerEstimate parallel =
+            estimateLer(ctx, *decoder, options);
+        EXPECT_EQ(serial.ler, parallel.ler) << spec;
+        ASSERT_EQ(serial.perK.size(), parallel.perK.size());
+        for (size_t i = 0; i < serial.perK.size(); ++i) {
+            EXPECT_EQ(serial.perK[i].failures,
+                      parallel.perK[i].failures)
+                << spec << " k=" << serial.perK[i].k;
+        }
+    }
+}
+
+TEST(Arena, ResetKeepsCapacityAndStopsAllocating)
+{
+    MonotonicArena arena(64);
+    // Force growth across several chunks.
+    for (int i = 0; i < 100; ++i) {
+        arena.allocate<uint64_t>(16);
+    }
+    const size_t high_water = arena.used();
+    EXPECT_EQ(high_water, 100u * 16u * sizeof(uint64_t));
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_GE(arena.capacity(), high_water);
+
+    // Steady state: same usage pattern, no new heap allocations.
+    arena.reset();
+    const uint64_t before = g_allocations.load();
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        arena.reset();
+        for (int i = 0; i < 100; ++i) {
+            arena.allocate<uint64_t>(16);
+        }
+    }
+    EXPECT_EQ(g_allocations.load() - before, 0u);
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint)
+{
+    MonotonicArena arena(32);
+    auto *a = arena.allocate<uint8_t>(3);
+    auto *b = arena.allocate<uint64_t>(2);
+    auto *c = arena.allocate<uint32_t>(5);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % alignof(uint64_t),
+              0u);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % alignof(uint32_t),
+              0u);
+    // Writes must not overlap.
+    for (int i = 0; i < 3; ++i) a[i] = 0xAB;
+    for (int i = 0; i < 2; ++i) b[i] = ~0ull;
+    for (int i = 0; i < 5; ++i) c[i] = 0x12345678u;
+    EXPECT_EQ(a[0], 0xAB);
+    EXPECT_EQ(b[1], ~0ull);
+    EXPECT_EQ(c[4], 0x12345678u);
+}
+
+TEST(Arena, ArenaVectorGrowsAndKeepsContents)
+{
+    MonotonicArena arena(64);
+    ArenaVector<int> v(arena, 4);
+    for (int i = 0; i < 1000; ++i) {
+        v.push_back(i);
+    }
+    ASSERT_EQ(v.size(), 1000u);
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_EQ(v[i], i);
+    }
+    v.clear();
+    EXPECT_TRUE(v.empty());
+}
+
+TEST(Workspace, SyndromeSubgraphRebuildsInPlace)
+{
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    ImportanceSampler sampler(ctx.dem(), 8);
+    SyndromeSubgraph subgraph;
+    Rng rng(7);
+    for (int round = 0; round < 20; ++round) {
+        const auto sample = sampler.sample(1 + round % 8, rng);
+        subgraph.build(ctx.graph(), sample.defects);
+        ASSERT_EQ(subgraph.size(),
+                  static_cast<int>(sample.defects.size()));
+        EXPECT_EQ(subgraph.aliveCount(), subgraph.size());
+        for (int i = 0; i < subgraph.size(); ++i) {
+            EXPECT_EQ(subgraph.det(i), sample.defects[i]);
+            // Degree must equal the number of in-set neighbors,
+            // and every neighbor row entry must point back.
+            EXPECT_EQ(subgraph.degree(i),
+                      static_cast<int>(
+                          subgraph.neighbors(i).size()));
+            for (int j : subgraph.neighbors(i)) {
+                EXPECT_TRUE(subgraph.adjacent(j, i))
+                    << "asymmetric adjacency at " << i << "," << j;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace qec
