@@ -14,6 +14,10 @@
  *                      (default: per-bench base x QEC_BENCH_SCALE)
  *   --spec S           run only the decoder config whose legacy
  *                      name or canonical spec string matches S
+ *   --repeat N         repeat each timed measurement N times and
+ *                      report the median (committed BENCH_*.json
+ *                      numbers should use N >= 3 so trajectories
+ *                      are noise-robust)
  *   --json PATH        also write the report as JSON
  *
  * Sample counts additionally scale with the QEC_BENCH_SCALE
@@ -24,6 +28,7 @@
 #ifndef QEC_BENCH_COMMON_HPP
 #define QEC_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +51,8 @@ struct BenchCli
     uint64_t samplesPerK = 0;
     /** Decoder config filter (legacy name or spec string). */
     std::string spec;
+    /** Timed-measurement repetitions (median is reported). */
+    int repeat = 1;
     /** Where to write the JSON report; empty = don't. */
     std::string jsonPath;
 };
@@ -57,6 +64,16 @@ scaledSamples(uint64_t base)
     const double scaled = static_cast<double>(base) *
                           qec::benchScale();
     return scaled < 16 ? 16 : static_cast<uint64_t>(scaled);
+}
+
+/** Median of a non-empty sample vector (sorts a copy). */
+inline double
+medianOf(std::vector<double> samples)
+{
+    std::sort(samples.begin(), samples.end());
+    const size_t n = samples.size();
+    return n % 2 ? samples[n / 2]
+                 : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
 }
 
 /**
@@ -237,7 +254,7 @@ class Bench
     {
         std::printf(
             "usage: %s [--threads N] [--samples-per-k N] "
-            "[--spec S] [--json PATH]\n\n%s\n\nSee "
+            "[--spec S] [--repeat N] [--json PATH]\n\n%s\n\nSee "
             "docs/benchmarks.md for the shared CLI and the JSON "
             "schema.\n",
             name_.c_str(), description_.c_str());
@@ -287,6 +304,19 @@ class Bench
                     static_cast<uint64_t>(parsed);
             } else if (!std::strcmp(argv[i], "--spec")) {
                 cli_.spec = value(i);
+            } else if (!std::strcmp(argv[i], "--repeat")) {
+                char *end = nullptr;
+                const long parsed =
+                    std::strtol(value(i), &end, 10);
+                if (!end || *end != '\0' || parsed <= 0) {
+                    std::fprintf(
+                        stderr,
+                        "%s: --repeat needs a positive integer, "
+                        "got '%s'\n",
+                        name_.c_str(), argv[i]);
+                    usage(2);
+                }
+                cli_.repeat = static_cast<int>(parsed);
             } else if (!std::strcmp(argv[i], "--json")) {
                 cli_.jsonPath = value(i);
             } else if (!std::strcmp(argv[i], "--help") ||
@@ -364,6 +394,8 @@ class Bench
                ",\n";
         out += "  \"samples_per_k_override\": " +
                std::to_string(cli_.samplesPerK) + ",\n";
+        out += "  \"repeat\": " + std::to_string(cli_.repeat) +
+               ",\n";
         out += "  \"spec_filter\": " + qec::jsonQuote(cli_.spec) +
                ",\n";
         out += "  \"elapsed_seconds\": " +

@@ -50,9 +50,13 @@ main(int argc, char **argv)
     }
     std::printf("\nFirst 8 sampled shots through %s (spec \"%s\"):\n",
                 decoder->name().c_str(), spec.toString().c_str());
+    std::vector<uint32_t> defects; // Reused across lanes.
     for (int lane = 0; lane < 8; ++lane) {
-        const auto defects =
-            batch.detectorBits(lane).onesIndices();
+        // Popcount-proportional extraction (see bitvec.hpp) — the
+        // same idiom the direct-MC harness uses on its hot path.
+        defects.clear();
+        batch.detectorBits(lane).forEachSetBit(
+            [&](uint32_t det) { defects.push_back(det); });
         const qec::DecodeResult result =
             decoder->decode(defects);
         const bool ok = !result.aborted &&

@@ -31,7 +31,8 @@ AstreaDecoder::decode(std::span<const uint32_t> defects,
         return result;
     }
     DefectGraph &dg = workspace.defectGraph;
-    buildDefectGraphInto(defects, paths_, dg);
+    buildDefectGraphInto(defects, paths_, workspace.distances,
+                         dg);
     MatchingSolution &solution = workspace.solution;
     workspace.exhaustive.solve(dg.problem, solution);
     if (!solution.valid) {
@@ -39,11 +40,12 @@ AstreaDecoder::decode(std::span<const uint32_t> defects,
         result.latencyNs = latency_.budgetNs;
         return result;
     }
-    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.predictedObs =
+        dg.solutionObs(workspace.distances, solution);
     result.weight = solution.totalWeight;
     result.latencyNs = latency_.astreaLatencyNs(hw);
     if (trace) {
-        dg.chainLengthsInto(paths_, solution,
+        dg.chainLengthsInto(workspace.distances, solution,
                             trace->chainLengths);
     }
     return result;

@@ -28,7 +28,8 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
     }
 
     DefectGraph &dg = workspace.defectGraph;
-    buildDefectGraphInto(defects, paths_, dg);
+    buildDefectGraphInto(defects, paths_, workspace.distances,
+                         dg);
 
     // Prune pair edges whose chain probability is below the LER
     // scale; boundary edges always survive so a matching exists.
@@ -56,7 +57,8 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
         result.latencyNs = latency_.budgetNs;
         return result;
     }
-    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.predictedObs =
+        dg.solutionObs(workspace.distances, solution);
     result.weight = solution.totalWeight;
     const long long cycles =
         search.statesExplored() / latency_.astreaParallelism +
@@ -64,7 +66,7 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
     result.latencyNs = static_cast<double>(cycles) *
                        latency_.nsPerCycle;
     if (trace) {
-        dg.chainLengthsInto(paths_, solution,
+        dg.chainLengthsInto(workspace.distances, solution,
                             trace->chainLengths);
     }
     return result;

@@ -21,17 +21,19 @@ MwpmDecoder::decode(std::span<const uint32_t> defects,
         return result;
     }
     DefectGraph &dg = workspace.defectGraph;
-    buildDefectGraphInto(defects, paths_, dg);
+    buildDefectGraphInto(defects, paths_, workspace.distances,
+                         dg);
     MatchingSolution &solution = workspace.solution;
     workspace.blossom.solve(dg.problem, solution);
     if (!solution.valid) {
         result.aborted = true;
         return result;
     }
-    result.predictedObs = dg.solutionObs(paths_, solution);
+    result.predictedObs =
+        dg.solutionObs(workspace.distances, solution);
     result.weight = solution.totalWeight;
     if (trace) {
-        dg.chainLengthsInto(paths_, solution,
+        dg.chainLengthsInto(workspace.distances, solution,
                             trace->chainLengths);
     }
     return result;

@@ -128,8 +128,10 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     // --- Growth. Each edge has growth 0..2 halves; an edge becomes
     // part of the cluster support when fully grown. Odd clusters grow
     // all edges incident to their current vertex set each round.
-    const auto &edges = graph_.edges();
-    s.growth.assign(edges.size(), 0);
+    // Every per-edge scan below reads only the SoA endpoint arrays
+    // (8 bytes/edge) instead of the 40-byte GraphEdge records.
+    const size_t num_edges = graph_.edges().size();
+    s.growth.assign(num_edges, 0);
     s.inSupport.assign(n, 0);
     for (uint32_t d : defects) {
         s.inSupport[d] = 1;
@@ -141,16 +143,17 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
         QEC_ASSERT(++guard < 10000, "union-find growth diverged");
         any_active = false;
         s.newlyFull.clear();
-        for (uint32_t eid = 0; eid < edges.size(); ++eid) {
+        for (uint32_t eid = 0; eid < num_edges; ++eid) {
             if (s.growth[eid] >= 2) {
                 continue;
             }
-            const GraphEdge &edge = edges[eid];
+            const uint32_t eu = graph_.edgeU(eid);
+            const uint32_t ev = graph_.edgeV(eid);
             const bool u_active =
-                s.inSupport[edge.u] && s.isActive(edge.u);
-            const bool v_active = edge.v != kBoundary &&
-                                  s.inSupport[edge.v] &&
-                                  s.isActive(edge.v);
+                s.inSupport[eu] && s.isActive(eu);
+            const bool v_active = ev != kBoundary &&
+                                  s.inSupport[ev] &&
+                                  s.isActive(ev);
             if (!u_active && !v_active) {
                 continue;
             }
@@ -162,15 +165,15 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
             }
         }
         for (uint32_t eid : s.newlyFull) {
-            const GraphEdge &edge = edges[eid];
-            const uint32_t v = (edge.v == kBoundary)
-                                   ? s.boundaryVertex
-                                   : edge.v;
-            if (edge.v != kBoundary) {
-                s.inSupport[edge.v] = 1;
+            const uint32_t eu = graph_.edgeU(eid);
+            const uint32_t ev = graph_.edgeV(eid);
+            const uint32_t v =
+                (ev == kBoundary) ? s.boundaryVertex : ev;
+            if (ev != kBoundary) {
+                s.inSupport[ev] = 1;
             }
-            s.inSupport[edge.u] = 1;
-            s.unite(edge.u, v);
+            s.inSupport[eu] = 1;
+            s.unite(eu, v);
         }
         if (!any_active) {
             break;
@@ -198,16 +201,17 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     // order so BFS neighbor order matches a per-vertex push_back).
     s.grownOffset.assign(n + 1, 0);
     s.boundaryRootEdge.assign(n, -1);
-    for (uint32_t eid = 0; eid < edges.size(); ++eid) {
+    for (uint32_t eid = 0; eid < num_edges; ++eid) {
         if (s.growth[eid] < 2) {
             continue;
         }
-        const GraphEdge &edge = edges[eid];
-        if (edge.v == kBoundary) {
-            s.boundaryRootEdge[edge.u] = static_cast<int>(eid);
+        const uint32_t eu = graph_.edgeU(eid);
+        const uint32_t ev = graph_.edgeV(eid);
+        if (ev == kBoundary) {
+            s.boundaryRootEdge[eu] = static_cast<int>(eid);
         } else {
-            ++s.grownOffset[edge.u + 1];
-            ++s.grownOffset[edge.v + 1];
+            ++s.grownOffset[eu + 1];
+            ++s.grownOffset[ev + 1];
         }
     }
     for (uint32_t v = 0; v < n; ++v) {
@@ -216,14 +220,15 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     s.grownEdge.assign(s.grownOffset[n], 0);
     s.grownCursor.assign(s.grownOffset.begin(),
                          s.grownOffset.end() - 1);
-    for (uint32_t eid = 0; eid < edges.size(); ++eid) {
+    for (uint32_t eid = 0; eid < num_edges; ++eid) {
         if (s.growth[eid] < 2) {
             continue;
         }
-        const GraphEdge &edge = edges[eid];
-        if (edge.v != kBoundary) {
-            s.grownEdge[s.grownCursor[edge.u]++] = eid;
-            s.grownEdge[s.grownCursor[edge.v]++] = eid;
+        const uint32_t eu = graph_.edgeU(eid);
+        const uint32_t ev = graph_.edgeV(eid);
+        if (ev != kBoundary) {
+            s.grownEdge[s.grownCursor[eu]++] = eid;
+            s.grownEdge[s.grownCursor[ev]++] = eid;
         }
     }
 
@@ -240,9 +245,9 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
             for (int32_t o = s.grownOffset[u];
                  o < s.grownOffset[u + 1]; ++o) {
                 const uint32_t eid = s.grownEdge[o];
-                const GraphEdge &edge = edges[eid];
+                const uint32_t eu = graph_.edgeU(eid);
                 const uint32_t w =
-                    (edge.u == u) ? edge.v : edge.u;
+                    (eu == u) ? graph_.edgeV(eid) : eu;
                 if (!s.visited[w]) {
                     s.visited[w] = 1;
                     s.parentEdge[w] = static_cast<int>(eid);
@@ -276,20 +281,21 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
             continue;
         }
         if (s.parentEdge[u] >= 0) {
-            const GraphEdge &edge = edges[s.parentEdge[u]];
-            s.correction.push_back(edge.id);
-            obs ^= edge.obsMask;
-            weight += edge.weight;
+            const uint32_t eid =
+                static_cast<uint32_t>(s.parentEdge[u]);
+            s.correction.push_back(eid);
+            obs ^= graph_.edgeObsMask(eid);
+            weight += graph_.edgeWeight(eid);
             s.flagged[u] = 0;
             const uint32_t p =
                 static_cast<uint32_t>(s.parentVertex[u]);
             s.flagged[p] = !s.flagged[p];
         } else if (s.boundaryRootEdge[u] >= 0) {
-            const GraphEdge &edge =
-                edges[s.boundaryRootEdge[u]];
-            s.correction.push_back(edge.id);
-            obs ^= edge.obsMask;
-            weight += edge.weight;
+            const uint32_t eid = static_cast<uint32_t>(
+                s.boundaryRootEdge[u]);
+            s.correction.push_back(eid);
+            obs ^= graph_.edgeObsMask(eid);
+            weight += graph_.edgeWeight(eid);
             s.flagged[u] = 0;
         } else {
             // A root with unresolved parity and no boundary: the

@@ -36,6 +36,7 @@
 #ifndef QEC_DECODERS_WORKSPACE_HPP
 #define QEC_DECODERS_WORKSPACE_HPP
 
+#include "qec/graph/distance_view.hpp"
 #include "qec/matching/blossom.hpp"
 #include "qec/matching/defect_graph.hpp"
 #include "qec/matching/exhaustive.hpp"
@@ -54,6 +55,11 @@ struct DecodeWorkspace
     MonotonicArena arena;
     /** Predecode layer: the defect subgraph, rebuilt in place. */
     SyndromeSubgraph subgraph;
+    /** Gathered S×S PathTable block of the current syndrome. The
+     *  predecoder gathers it for the full defect set; the main
+     *  decoder's residual resolves against it as a subset (see
+     *  distance_view.hpp). */
+    DistanceView distances;
     /** Pipeline handoff: the predecoder's output, incl. residual. */
     PredecodeResult predecodeResult;
     /** Matching layer: the complete defect graph of a syndrome. */

@@ -52,7 +52,6 @@ DecodingGraph::fromDem(const GraphlikeDem &dem,
         ++slot.variants;
     }
 
-    graph.adjacency.assign(dem.numDetectors, {});
     graph.boundaryEdgeOf.assign(dem.numDetectors, -1);
     for (const auto &[key, variant] : merged) {
         if (variant.variants > 1) {
@@ -66,13 +65,60 @@ DecodingGraph::fromDem(const GraphlikeDem &dem,
         edge.weight = probToWeight(variant.prob);
         edge.obsMask = variant.obsMask;
         graph.edges_.push_back(edge);
-
-        graph.adjacency[edge.u].push_back(edge.id);
         if (edge.v == kBoundary) {
             graph.boundaryEdgeOf[edge.u] =
                 static_cast<int>(edge.id);
-        } else {
-            graph.adjacency[edge.v].push_back(edge.id);
+        }
+    }
+
+    // SoA hot fields: bit-copies of the AoS (weight narrowed to
+    // float, the documented inner-loop precision).
+    const size_t m = graph.edges_.size();
+    graph.edgeWeightF_.resize(m);
+    graph.edgeObs_.resize(m);
+    graph.edgeEndU_.resize(m);
+    graph.edgeEndV_.resize(m);
+    for (size_t e = 0; e < m; ++e) {
+        const GraphEdge &edge = graph.edges_[e];
+        graph.edgeWeightF_[e] = static_cast<float>(edge.weight);
+        graph.edgeObs_[e] = edge.obsMask;
+        graph.edgeEndU_[e] = edge.u;
+        graph.edgeEndV_[e] = edge.v;
+    }
+
+    // Adjacency CSR (edge-id insertion order per row matches the
+    // historical vector-of-vectors: ascending edge id, because edges
+    // are created in merged-map order and appended to both endpoint
+    // rows). Counting pass, prefix sum, then fill.
+    const uint32_t n = dem.numDetectors;
+    graph.adjOffsets_.assign(n + 1, 0);
+    graph.pairOffsets_.assign(n + 1, 0);
+    for (const GraphEdge &edge : graph.edges_) {
+        ++graph.adjOffsets_[edge.u + 1];
+        if (edge.v != kBoundary) {
+            ++graph.adjOffsets_[edge.v + 1];
+            ++graph.pairOffsets_[edge.u + 1];
+            ++graph.pairOffsets_[edge.v + 1];
+        }
+    }
+    for (uint32_t d = 0; d < n; ++d) {
+        graph.adjOffsets_[d + 1] += graph.adjOffsets_[d];
+        graph.pairOffsets_[d + 1] += graph.pairOffsets_[d];
+    }
+    graph.adjEdgeIds_.resize(graph.adjOffsets_[n]);
+    graph.pairHalfEdges_.resize(graph.pairOffsets_[n]);
+    std::vector<uint32_t> adjFill(graph.adjOffsets_.begin(),
+                                  graph.adjOffsets_.end() - 1);
+    std::vector<uint32_t> pairFill(graph.pairOffsets_.begin(),
+                                   graph.pairOffsets_.end() - 1);
+    for (const GraphEdge &edge : graph.edges_) {
+        graph.adjEdgeIds_[adjFill[edge.u]++] = edge.id;
+        if (edge.v != kBoundary) {
+            graph.adjEdgeIds_[adjFill[edge.v]++] = edge.id;
+            graph.pairHalfEdges_[pairFill[edge.u]++] = {edge.v,
+                                                        edge.id};
+            graph.pairHalfEdges_[pairFill[edge.v]++] = {edge.u,
+                                                        edge.id};
         }
     }
     return graph;
@@ -81,9 +127,10 @@ DecodingGraph::fromDem(const GraphlikeDem &dem,
 int
 DecodingGraph::edgeBetween(uint32_t a, uint32_t b) const
 {
-    const auto &smaller =
-        adjacency[a].size() <= adjacency[b].size() ? adjacency[a]
-                                                   : adjacency[b];
+    const auto smaller =
+        adjacentEdges(a).size() <= adjacentEdges(b).size()
+            ? adjacentEdges(a)
+            : adjacentEdges(b);
     for (uint32_t id : smaller) {
         const GraphEdge &edge = edges_[id];
         if ((edge.u == a && edge.v == b) ||

@@ -6,12 +6,23 @@
  * error mechanisms weighted by w = log((1-p)/p), so that a
  * minimum-weight matching corresponds to a maximum-probability error
  * hypothesis.
+ *
+ * Data layout (docs/api.md "Data layout"): adjacency is stored as a
+ * CSR — one offsets array plus one flat edge-id array — instead of a
+ * vector-of-vectors, and the edge fields consulted by the decode
+ * inner loops (weight, observable mask, endpoints) are additionally
+ * split into SoA arrays. The weight SoA is float: path distances are
+ * already float in the PathTable, and a 24-bit mantissa is far below
+ * the physical uncertainty of any error prior. The full-precision
+ * GraphEdge AoS remains the construction-time source of truth (the
+ * PathTable Dijkstra accumulates the double weights).
  */
 
 #ifndef QEC_GRAPH_DECODING_GRAPH_HPP
 #define QEC_GRAPH_DECODING_GRAPH_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "qec/dem/decompose.hpp"
@@ -29,6 +40,13 @@ struct GraphEdge
     double prob = 0.0;      //!< Combined mechanism probability.
     double weight = 0.0;    //!< log((1-p)/p).
     uint64_t obsMask = 0;   //!< Observables crossed by this edge.
+};
+
+/** One entry of the pair-edge CSR: in-graph neighbor + edge id. */
+struct PairHalfEdge
+{
+    uint32_t neighbor = 0; //!< The detector across the edge.
+    uint32_t edgeId = 0;   //!< Position in edges().
 };
 
 /** Weighted detector graph with a virtual boundary node. */
@@ -53,11 +71,36 @@ class DecodingGraph
 
     const std::vector<GraphEdge> &edges() const { return edges_; }
 
-    /** Ids of edges incident to a detector (boundary edges included). */
-    const std::vector<uint32_t> &adjacentEdges(uint32_t det) const
+    /** Ids of edges incident to a detector (boundary edges included),
+     *  in construction order — row det of the adjacency CSR. */
+    std::span<const uint32_t>
+    adjacentEdges(uint32_t det) const
     {
-        return adjacency[det];
+        return {adjEdgeIds_.data() + adjOffsets_[det],
+                adjEdgeIds_.data() + adjOffsets_[det + 1]};
     }
+
+    /**
+     * Detector-detector half-edges of a detector (boundary edges
+     * excluded), in the same relative order as adjacentEdges(). The
+     * hot subgraph construction walks these 8-byte records instead
+     * of chasing edge ids into the 40-byte GraphEdge AoS.
+     */
+    std::span<const PairHalfEdge>
+    pairNeighbors(uint32_t det) const
+    {
+        return {pairHalfEdges_.data() + pairOffsets_[det],
+                pairHalfEdges_.data() + pairOffsets_[det + 1]};
+    }
+
+    // --- SoA hot fields, bit-copied from the GraphEdge AoS at
+    // construction (weight additionally narrowed to float — the
+    // documented precision choice of the decode inner loops).
+    float edgeWeight(uint32_t eid) const { return edgeWeightF_[eid]; }
+    uint64_t edgeObsMask(uint32_t eid) const { return edgeObs_[eid]; }
+    uint32_t edgeU(uint32_t eid) const { return edgeEndU_[eid]; }
+    /** Second endpoint, or kBoundary. */
+    uint32_t edgeV(uint32_t eid) const { return edgeEndV_[eid]; }
 
     /** Edge id between two detectors, or -1 if not adjacent. */
     int edgeBetween(uint32_t a, uint32_t b) const;
@@ -79,7 +122,18 @@ class DecodingGraph
     uint32_t numObservables_ = 0;
     uint32_t obsConflicts_ = 0;
     std::vector<GraphEdge> edges_;
-    std::vector<std::vector<uint32_t>> adjacency;
+    // Adjacency CSR: row det spans
+    // [adjOffsets_[det], adjOffsets_[det+1]) of adjEdgeIds_.
+    std::vector<uint32_t> adjOffsets_;
+    std::vector<uint32_t> adjEdgeIds_;
+    // Pair-edge CSR (boundary edges filtered out at construction).
+    std::vector<uint32_t> pairOffsets_;
+    std::vector<PairHalfEdge> pairHalfEdges_;
+    // SoA hot fields, parallel to edges_.
+    std::vector<float> edgeWeightF_;
+    std::vector<uint64_t> edgeObs_;
+    std::vector<uint32_t> edgeEndU_;
+    std::vector<uint32_t> edgeEndV_;
     std::vector<int> boundaryEdgeOf;
     std::vector<DetectorCoord> coords_;
 };

@@ -1,0 +1,65 @@
+#include "qec/graph/distance_view.hpp"
+
+#include <algorithm>
+
+namespace qec
+{
+
+bool
+DistanceView::covers(const PathTable &paths,
+                     std::span<const uint32_t> defects) const
+{
+    return paths_ == &paths && dets_.size() == defects.size() &&
+           std::equal(dets_.begin(), dets_.end(), defects.begin());
+}
+
+void
+DistanceView::gather(const PathTable &paths,
+                     std::span<const uint32_t> defects)
+{
+    if (covers(paths, defects)) {
+        return;
+    }
+    paths_ = &paths;
+    dets_.assign(defects.begin(), defects.end());
+    const size_t s = dets_.size();
+    stride_ = s;
+    cells_.resize(s * s);
+    bcells_.resize(s);
+    // Row-major gather: row a streams PathTable row dets_[a] at the
+    // S defect columns; all three fields ride in the one PathCell.
+    for (size_t a = 0; a < s; ++a) {
+        const PathCell *src = paths.row(dets_[a]);
+        PathCell *dst = cells_.data() + a * s;
+        for (size_t b = 0; b < s; ++b) {
+            dst[b] = src[dets_[b]];
+        }
+        bcells_[a] = paths.boundaryCell(dets_[a]);
+    }
+}
+
+bool
+DistanceView::subsetMap(const PathTable &paths,
+                        std::span<const uint32_t> defects,
+                        std::vector<int32_t> &map) const
+{
+    if (paths_ != &paths || defects.size() > dets_.size()) {
+        return false;
+    }
+    map.clear();
+    // Both sides sorted ascending: one merge scan.
+    size_t v = 0;
+    for (uint32_t det : defects) {
+        while (v < dets_.size() && dets_[v] < det) {
+            ++v;
+        }
+        if (v == dets_.size() || dets_[v] != det) {
+            return false;
+        }
+        map.push_back(static_cast<int32_t>(v));
+        ++v;
+    }
+    return true;
+}
+
+} // namespace qec

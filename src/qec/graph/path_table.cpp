@@ -21,12 +21,8 @@ using HeapEntry = std::pair<double, uint32_t>;
 
 PathTable::PathTable(const DecodingGraph &graph)
     : n(graph.numDetectors()),
-      distMat(static_cast<size_t>(n) * n, kInf),
-      obsMat(static_cast<size_t>(n) * n, 0),
-      hopsMat(static_cast<size_t>(n) * n, 255),
-      distBoundary(n, std::numeric_limits<double>::infinity()),
-      obsBoundary(n, 0),
-      hopsBoundary(n, 255)
+      cells(static_cast<size_t>(n) * n, PathCell{kInf, 0, 255}),
+      boundary(n, PathCell{kInf, 0, 255})
 {
     QEC_ASSERT(graph.numObservables() <= 8,
                "PathTable packs obs masks into 8 bits");
@@ -78,9 +74,10 @@ PathTable::PathTable(const DecodingGraph &graph)
         heap.push({0.0, src});
         relax_all(heap);
         for (uint32_t v = 0; v < n; ++v) {
-            distMat[index(src, v)] = static_cast<float>(dist[v]);
-            obsMat[index(src, v)] = obs[v];
-            hopsMat[index(src, v)] =
+            PathCell &cell = cells[index(src, v)];
+            cell.dist = static_cast<float>(dist[v]);
+            cell.obs = obs[v];
+            cell.hops =
                 static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
         }
     }
@@ -109,9 +106,9 @@ PathTable::PathTable(const DecodingGraph &graph)
     }
     relax_all(heap);
     for (uint32_t v = 0; v < n; ++v) {
-        distBoundary[v] = dist[v];
-        obsBoundary[v] = obs[v];
-        hopsBoundary[v] =
+        boundary[v].dist = static_cast<float>(dist[v]);
+        boundary[v].obs = obs[v];
+        boundary[v].hops =
             static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
     }
 }
@@ -119,7 +116,7 @@ PathTable::PathTable(const DecodingGraph &graph)
 bool
 PathTable::unreachable(uint32_t a, uint32_t b) const
 {
-    return distMat[index(a, b)] == kInf;
+    return cells[index(a, b)].dist == kInf;
 }
 
 } // namespace qec

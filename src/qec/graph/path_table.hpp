@@ -11,6 +11,17 @@
  * by every boundary edge; pair distances never route through the
  * boundary (matching two defects "via the boundary" is represented as
  * two separate boundary matches instead).
+ *
+ * Data layout (docs/api.md "Data layout"): the three per-pair fields
+ * (distance, path observable parity, hop count) are interleaved into
+ * one 8-byte PathCell so a decode touches one cache line per pair
+ * lookup instead of striding three separate n² arrays, and the
+ * DistanceView gather streams all three fields in a single pass.
+ * Every distance is float: the Dijkstra accumulates in double and
+ * narrows once on store. (distBoundary was historically double while
+ * distMat was float; they are unified to float so the gathered
+ * DistanceView has one element type — a 24-bit mantissa is orders of
+ * magnitude below the precision of any physical error prior.)
  */
 
 #ifndef QEC_GRAPH_PATH_TABLE_HPP
@@ -24,6 +35,17 @@
 namespace qec
 {
 
+/** One interleaved entry of the all-pairs table. */
+struct PathCell
+{
+    float dist = 0.0f;  //!< Shortest-path weight.
+    uint8_t obs = 0;    //!< XOR of obs masks along the path.
+    uint8_t hops = 255; //!< Edge count (255 = saturated).
+};
+
+static_assert(sizeof(PathCell) == 8,
+              "PathCell must stay one half cache line per 8 pairs");
+
 /** Precomputed distance / observable-parity / hop tables. */
 class PathTable
 {
@@ -31,31 +53,52 @@ class PathTable
     explicit PathTable(const DecodingGraph &graph);
 
     /** Shortest-path weight between two detectors. */
-    double dist(uint32_t a, uint32_t b) const
+    float dist(uint32_t a, uint32_t b) const
     {
-        return distMat[index(a, b)];
+        return cells[index(a, b)].dist;
     }
 
     /** XOR of observable masks along the shortest a-b path. */
     uint64_t pathObs(uint32_t a, uint32_t b) const
     {
-        return obsMat[index(a, b)];
+        return cells[index(a, b)].obs;
     }
 
     /** Number of edges along the shortest a-b path (255 = saturated). */
     int pathHops(uint32_t a, uint32_t b) const
     {
-        return hopsMat[index(a, b)];
+        return cells[index(a, b)].hops;
+    }
+
+    /** The full interleaved cell of a detector pair. */
+    const PathCell &cell(uint32_t a, uint32_t b) const
+    {
+        return cells[index(a, b)];
+    }
+
+    /** One row of the interleaved table (all pairs of detector a). */
+    const PathCell *row(uint32_t a) const
+    {
+        return cells.data() + static_cast<size_t>(a) * n;
     }
 
     /** Shortest-path weight from a detector to the boundary. */
-    double distToBoundary(uint32_t a) const { return distBoundary[a]; }
+    float distToBoundary(uint32_t a) const
+    {
+        return boundary[a].dist;
+    }
 
     /** Observable parity of the best path to the boundary. */
-    uint64_t boundaryObs(uint32_t a) const { return obsBoundary[a]; }
+    uint64_t boundaryObs(uint32_t a) const { return boundary[a].obs; }
 
     /** Hop count of the best path to the boundary. */
-    int boundaryHops(uint32_t a) const { return hopsBoundary[a]; }
+    int boundaryHops(uint32_t a) const { return boundary[a].hops; }
+
+    /** The full interleaved boundary cell of a detector. */
+    const PathCell &boundaryCell(uint32_t a) const
+    {
+        return boundary[a];
+    }
 
     /** True if b is unreachable from a without the boundary. */
     bool unreachable(uint32_t a, uint32_t b) const;
@@ -69,12 +112,8 @@ class PathTable
     }
 
     uint32_t n = 0;
-    std::vector<float> distMat;
-    std::vector<uint8_t> obsMat;
-    std::vector<uint8_t> hopsMat;
-    std::vector<double> distBoundary;
-    std::vector<uint8_t> obsBoundary;
-    std::vector<uint8_t> hopsBoundary;
+    std::vector<PathCell> cells;    //!< n x n interleaved pairs.
+    std::vector<PathCell> boundary; //!< Per-detector boundary column.
 };
 
 } // namespace qec

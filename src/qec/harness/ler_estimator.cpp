@@ -4,6 +4,7 @@
 
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/bitvec.hpp"
 #include "qec/util/parallel_for.hpp"
 
 namespace qec
@@ -140,8 +141,11 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
         FrameSimulator(context.experiment().circuit));
     std::vector<BatchResult> batches(
         static_cast<size_t>(workers));
-    std::vector<std::vector<uint32_t>> block_defects(
-        static_cast<size_t>(workers));
+    // Per-worker lane buckets: one defect list per bit lane,
+    // capacities reused across every block the worker decodes.
+    std::vector<std::vector<std::vector<uint32_t>>> lane_buckets(
+        static_cast<size_t>(workers),
+        std::vector<std::vector<uint32_t>>(64));
     parallelFor(
         static_cast<size_t>(blocks), threads,
         [&](size_t begin, size_t end, int worker) {
@@ -152,27 +156,36 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
                 engines.workspace(worker);
             BatchResult &batch =
                 batches[static_cast<size_t>(worker)];
-            std::vector<uint32_t> &defects =
-                block_defects[static_cast<size_t>(worker)];
+            std::vector<std::vector<uint32_t>> &lanes_of =
+                lane_buckets[static_cast<size_t>(worker)];
             uint64_t local = 0;
             for (size_t b = begin; b < end; ++b) {
                 Rng rng = Rng::forSample(seed, 0, b);
                 simulator.sampleBatch(rng, batch);
                 const int lanes = static_cast<int>(
                     std::min<uint64_t>(64, shots - b * 64));
-                for (int lane = 0; lane < lanes; ++lane) {
-                    defects.clear();
-                    for (size_t det = 0;
-                         det < batch.detectors.size(); ++det) {
-                        if ((batch.detectors[det] >> lane) & 1) {
-                            defects.push_back(
+                // Bit-parallel defect extraction: one countr_zero
+                // word walk over the detector-major batch words,
+                // scattering each set bit into its lane's bucket —
+                // work proportional to the number of defects, not
+                // 64 x #detectors. Buckets stay detector-ascending
+                // because det ascends in the outer loop.
+                for (int lane = 0; lane < 64; ++lane) {
+                    lanes_of[lane].clear();
+                }
+                for (size_t det = 0;
+                     det < batch.detectors.size(); ++det) {
+                    forEachSetBit(
+                        batch.detectors[det], [&](int lane) {
+                            lanes_of[lane].push_back(
                                 static_cast<uint32_t>(det));
-                        }
-                    }
+                        });
+                }
+                for (int lane = 0; lane < lanes; ++lane) {
                     const uint64_t actual =
                         batch.observableMask(lane);
-                    const DecodeResult decoded =
-                        engine->decode(defects, workspace);
+                    const DecodeResult decoded = engine->decode(
+                        lanes_of[lane], workspace);
                     const bool fail =
                         decoded.aborted ||
                         decoded.predictedObs != actual;

@@ -12,6 +12,7 @@ buildDefectGraphInto(std::span<const uint32_t> defects,
                      const PathTable &paths, DefectGraph &out)
 {
     out.defects.assign(defects.begin(), defects.end());
+    out.viewMap.clear();
     const int n = static_cast<int>(defects.size());
     out.problem.n = n;
     out.problem.pairWeight.assign(static_cast<size_t>(n) * n,
@@ -26,6 +27,41 @@ buildDefectGraphInto(std::span<const uint32_t> defects,
             if (!paths.unreachable(defects[i], defects[j])) {
                 out.problem.setPair(
                     i, j, paths.dist(defects[i], defects[j]));
+            }
+        }
+    }
+}
+
+void
+buildDefectGraphInto(std::span<const uint32_t> defects,
+                     const PathTable &paths, DistanceView &view,
+                     DefectGraph &out)
+{
+    out.defects.assign(defects.begin(), defects.end());
+    const int n = static_cast<int>(defects.size());
+    if (!view.subsetMap(paths, defects, out.viewMap)) {
+        // Not contained in the gathered block: gather for exactly
+        // this set; the map is then the identity.
+        view.gather(paths, defects);
+        out.viewMap.clear();
+        for (int i = 0; i < n; ++i) {
+            out.viewMap.push_back(i);
+        }
+    }
+    out.problem.n = n;
+    out.problem.pairWeight.assign(static_cast<size_t>(n) * n,
+                                  kNoEdge);
+    out.problem.boundaryWeight.assign(n, kNoEdge);
+    for (int i = 0; i < n; ++i) {
+        const int vi = out.viewMap[i];
+        const double db = view.distToBoundary(vi);
+        if (std::isfinite(db)) {
+            out.problem.boundaryWeight[i] = db;
+        }
+        for (int j = i + 1; j < n; ++j) {
+            const float w = view.dist(vi, out.viewMap[j]);
+            if (std::isfinite(w)) {
+                out.problem.setPair(i, j, w);
             }
         }
     }
@@ -58,6 +94,26 @@ DefectGraph::solutionObs(const PathTable &paths,
     return obs;
 }
 
+uint64_t
+DefectGraph::solutionObs(const DistanceView &view,
+                         const MatchingSolution &solution) const
+{
+    QEC_ASSERT(solution.mate.size() == defects.size(),
+               "solution size mismatch");
+    QEC_ASSERT(viewMap.size() == defects.size(),
+               "defect graph was not built through a view");
+    uint64_t obs = 0;
+    for (size_t i = 0; i < defects.size(); ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            obs ^= view.boundaryObs(viewMap[i]);
+        } else if (m > static_cast<int>(i)) {
+            obs ^= view.obs(viewMap[i], viewMap[m]);
+        }
+    }
+    return obs;
+}
+
 void
 DefectGraph::chainLengthsInto(const PathTable &paths,
                               const MatchingSolution &solution,
@@ -70,6 +126,24 @@ DefectGraph::chainLengthsInto(const PathTable &paths,
             out.push_back(paths.boundaryHops(defects[i]));
         } else if (m > static_cast<int>(i)) {
             out.push_back(paths.pathHops(defects[i], defects[m]));
+        }
+    }
+}
+
+void
+DefectGraph::chainLengthsInto(const DistanceView &view,
+                              const MatchingSolution &solution,
+                              std::vector<int> &out) const
+{
+    QEC_ASSERT(viewMap.size() == defects.size(),
+               "defect graph was not built through a view");
+    out.clear();
+    for (size_t i = 0; i < defects.size(); ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            out.push_back(view.boundaryHops(viewMap[i]));
+        } else if (m > static_cast<int>(i)) {
+            out.push_back(view.hops(viewMap[i], viewMap[m]));
         }
     }
 }

@@ -9,8 +9,13 @@
  * matched paths and the error-chain lengths (Fig. 5).
  *
  * The hot decode path rebuilds one workspace-owned DefectGraph in
- * place via buildDefectGraphInto (all buffers reuse their capacity);
- * the returning buildDefectGraph wrapper stays for convenience.
+ * place through the workspace's DistanceView: the S×S block of the
+ * PathTable is gathered (or resolved as a subset of the block the
+ * predecoder already gathered — see distance_view.hpp) and the
+ * problem matrix plus the solution read-back then touch only that
+ * dense block. `viewMap` records each local defect's index into the
+ * view. The PathTable-reading builders stay for convenience and are
+ * bit-identical (the view holds bit-copies).
  */
 
 #ifndef QEC_MATCHING_DEFECT_GRAPH_HPP
@@ -20,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "qec/graph/distance_view.hpp"
 #include "qec/graph/path_table.hpp"
 #include "qec/matching/matching_problem.hpp"
 
@@ -33,9 +39,17 @@ struct DefectGraph
     std::vector<uint32_t> defects;
     /** Complete-graph matching instance over the defects. */
     MatchingProblem problem;
+    /** Local defect index -> index into the DistanceView this graph
+     *  was built from (identity when the view was gathered for
+     *  exactly this defect set). Empty for PathTable-built graphs. */
+    std::vector<int32_t> viewMap;
 
     /** XOR of observable masks along all matched paths. */
     uint64_t solutionObs(const PathTable &paths,
+                         const MatchingSolution &solution) const;
+
+    /** solutionObs through the gathered view (uses viewMap). */
+    uint64_t solutionObs(const DistanceView &view,
                          const MatchingSolution &solution) const;
 
     /** Error-chain length (hops) of each matched pair/boundary. */
@@ -44,6 +58,11 @@ struct DefectGraph
 
     /** chainLengths into a caller-owned buffer (capacity reused). */
     void chainLengthsInto(const PathTable &paths,
+                          const MatchingSolution &sol,
+                          std::vector<int> &out) const;
+
+    /** chainLengthsInto through the gathered view (uses viewMap). */
+    void chainLengthsInto(const DistanceView &view,
                           const MatchingSolution &sol,
                           std::vector<int> &out) const;
 };
@@ -55,6 +74,16 @@ DefectGraph buildDefectGraph(std::span<const uint32_t> defects,
 /** Rebuild `out` in place from a syndrome, reusing its buffers. */
 void buildDefectGraphInto(std::span<const uint32_t> defects,
                           const PathTable &paths, DefectGraph &out);
+
+/**
+ * Rebuild `out` in place through `view`: resolves `defects` against
+ * the view's gathered block (gathering from `paths` only when the
+ * block does not already contain them) and fills the problem matrix
+ * from the dense cells. Bit-identical with the PathTable builder.
+ */
+void buildDefectGraphInto(std::span<const uint32_t> defects,
+                          const PathTable &paths,
+                          DistanceView &view, DefectGraph &out);
 
 } // namespace qec
 

@@ -45,18 +45,19 @@ CliquePredecoder::predecode(std::span<const uint32_t> defects,
             if (sg.degree(j) == 1 && sg.soleNeighbor(j) == i) {
                 covered[i] = 1;
                 covered[j] = 1;
-                const GraphEdge &edge =
-                    graph_.edges()[sg.soleEdge(i)];
-                obs ^= edge.obsMask;
-                weight += edge.weight;
+                const uint32_t eid = sg.soleEdge(i);
+                obs ^= graph_.edgeObsMask(eid);
+                weight += graph_.edgeWeight(eid);
                 continue;
             }
         } else if (sg.degree(i) == 0) {
             const int beid = graph_.boundaryEdge(defects[i]);
             if (beid >= 0) {
+                const uint32_t eid =
+                    static_cast<uint32_t>(beid);
                 covered[i] = 1;
-                obs ^= graph_.edges()[beid].obsMask;
-                weight += graph_.edges()[beid].weight;
+                obs ^= graph_.edgeObsMask(eid);
+                weight += graph_.edgeWeight(eid);
                 continue;
             }
         }

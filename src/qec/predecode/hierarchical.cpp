@@ -57,10 +57,9 @@ HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
         if (local) {
             covered[i] = 1;
             covered[j] = 1;
-            const GraphEdge &edge =
-                graph_.edges()[sg.soleEdge(i)];
-            obs ^= edge.obsMask;
-            weight += edge.weight;
+            const uint32_t eid = sg.soleEdge(i);
+            obs ^= graph_.edgeObsMask(eid);
+            weight += graph_.edgeWeight(eid);
         }
     }
 

@@ -21,6 +21,13 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
     result.reset();
     SyndromeSubgraph &sg = workspace.subgraph;
     sg.build(graph_, defects);
+    // Step 3 consults defect-to-defect shortest paths through the
+    // workspace's gathered S×S block (local indices coincide with
+    // the subgraph's). The gather is lazy — most syndromes resolve
+    // in Steps 1/2 and never touch a path — and idempotent across
+    // rounds. When it does fire, the pipeline's main decoder later
+    // resolves its residual as a subset of the same block.
+    DistanceView &dv = workspace.distances;
     // All per-round lists below are arena transients; they die with
     // this call, and the arena keeps its high-water capacity across
     // decodes (zero allocations once warm).
@@ -44,9 +51,9 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
     };
 
     const auto match_pair = [&](int i, int j) {
-        const GraphEdge &edge = sg.edgeOf(i, j);
-        result.obsMask ^= edge.obsMask;
-        result.weight += edge.weight;
+        const uint32_t eid = sg.edgeIdOf(i, j);
+        result.obsMask ^= graph_.edgeObsMask(eid);
+        result.weight += graph_.edgeWeight(eid);
         sg.kill(i);
         sg.kill(j);
     };
@@ -118,7 +125,7 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
             }
         };
         for (const auto &[i, j] : edges) {
-            const double w = sg.edgeOf(i, j).weight;
+            const double w = sg.edgeWeightOf(i, j);
             const bool deg1 =
                 std::min(sg.degree(i), sg.degree(j)) == 1;
             if (!creates_singleton(i, j)) {
@@ -147,12 +154,14 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
             }
             if (!singletons.empty()) {
                 used_step3_scan = true;
+                dv.gather(paths_, defects);
                 long long paths = 0;
                 for (int s : singletons) {
-                    // Boundary is always a legal partner.
+                    // Boundary is always a legal partner. All path
+                    // lookups below hit the gathered dense block
+                    // (bit-copies of the PathTable).
                     ++paths;
-                    const double bw =
-                        paths_.distToBoundary(sg.det(s));
+                    const double bw = dv.distToBoundary(s);
                     if (std::isfinite(bw) && bw < c3.weight) {
                         c3 = {bw, s, -1};
                     }
@@ -164,8 +173,7 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
                         if (sg.removalCreatesSingleton(i)) {
                             continue;
                         }
-                        const double w =
-                            paths_.dist(sg.det(s), sg.det(i));
+                        const double w = dv.dist(s, i);
                         if (std::isfinite(w) && w < c3.weight) {
                             c3 = {w, s, i};
                         }
@@ -194,13 +202,12 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
         } else if (used_step3_scan && c3.singleton >= 0) {
             result.steps.step3 = true;
             if (c3.partner < 0) {
-                result.obsMask ^=
-                    paths_.boundaryObs(sg.det(c3.singleton));
+                result.obsMask ^= dv.boundaryObs(c3.singleton);
                 result.weight += c3.weight;
                 sg.kill(c3.singleton);
             } else {
-                result.obsMask ^= paths_.pathObs(
-                    sg.det(c3.singleton), sg.det(c3.partner));
+                result.obsMask ^=
+                    dv.obs(c3.singleton, c3.partner);
                 result.weight += c3.weight;
                 sg.kill(c3.singleton);
                 sg.kill(c3.partner);

@@ -45,10 +45,9 @@ SmithPredecoder::predecode(std::span<const uint32_t> defects,
         for (int32_t o = 0; o < sg.degree(i); ++o) {
             const int j = sg.neighbors(i)[o];
             if (j > i) {
-                const GraphEdge &edge =
-                    graph_.edges()[sg.edgeIdAt(i, o)];
+                const uint32_t eid = sg.edgeIdAt(i, o);
                 edges.push_back(
-                    {edge.weight, edge.id, i, j});
+                    {graph_.edgeWeight(eid), eid, i, j});
             }
         }
     }
@@ -67,8 +66,8 @@ SmithPredecoder::predecode(std::span<const uint32_t> defects,
         }
         matched[edge.i] = 1;
         matched[edge.j] = 1;
-        result.obsMask ^= graph_.edges()[edge.eid].obsMask;
-        result.weight += graph_.edges()[edge.eid].weight;
+        result.obsMask ^= graph_.edgeObsMask(edge.eid);
+        result.weight += graph_.edgeWeight(edge.eid);
     }
 
     for (int i = 0; i < n; ++i) {

@@ -11,6 +11,17 @@ void
 SyndromeSubgraph::build(const DecodingGraph &graph,
                         std::span<const uint32_t> defects)
 {
+    // Membership scratch: initialize once per graph (the only
+    // allocation this type ever performs), then clear just the
+    // previous syndrome's marks.
+    if (graph_ != &graph ||
+        localIndex_.size() != graph.numDetectors()) {
+        localIndex_.assign(graph.numDetectors(), -1);
+    } else {
+        for (uint32_t det : dets_) {
+            localIndex_[det] = -1;
+        }
+    }
     graph_ = &graph;
     dets_.assign(defects.begin(), defects.end());
     const int n = size();
@@ -19,36 +30,26 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
     adjOffset_.assign(n + 1, 0);
     deg_.assign(n, 0);
     dependent_.assign(n, 0);
+    for (int i = 0; i < n; ++i) {
+        localIndex_[dets_[i]] = i;
+    }
 
-    // Single membership-search pass, appending straight into the
-    // CSR arrays: the outer loop visits rows in ascending order,
-    // so the entries land already grouped and only the offsets
-    // need a prefix sum. Row i holds every in-set neighbor of
-    // defect i, in the order of graph.adjacentEdges(dets[i]) —
-    // defects are sorted, so membership is one binary search per
-    // incident edge.
-    const auto local_of = [&](uint32_t other) -> int {
-        const auto it = std::lower_bound(dets_.begin(),
-                                         dets_.end(), other);
-        if (it != dets_.end() && *it == other) {
-            return static_cast<int>(it - dets_.begin());
-        }
-        return -1;
-    };
+    // Single pass over the pair-edge CSR, appending straight into
+    // the local CSR arrays: the outer loop visits rows in ascending
+    // order, so the entries land already grouped and only the
+    // offsets need a prefix sum. Row i holds every in-set neighbor
+    // of defect i, in the order of graph.adjacentEdges(dets[i])
+    // minus boundary edges (the pair CSR preserves that order);
+    // membership is one O(1) scratch lookup per half-edge.
     adjNode_.clear();
     adjEdge_.clear();
     for (int i = 0; i < n; ++i) {
-        for (uint32_t eid : graph.adjacentEdges(dets_[i])) {
-            const GraphEdge &edge = graph.edges()[eid];
-            if (edge.v == kBoundary) {
-                continue;
-            }
-            const uint32_t other =
-                (edge.u == dets_[i]) ? edge.v : edge.u;
-            const int j = local_of(other);
+        for (const PairHalfEdge &half :
+             graph.pairNeighbors(dets_[i])) {
+            const int32_t j = localIndex_[half.neighbor];
             if (j >= 0) {
                 adjNode_.push_back(j);
-                adjEdge_.push_back(eid);
+                adjEdge_.push_back(half.edgeId);
                 ++adjOffset_[i + 1];
             }
         }
@@ -94,15 +95,15 @@ SyndromeSubgraph::refresh()
     }
 }
 
-const GraphEdge &
-SyndromeSubgraph::edgeOf(int i, int j) const
+uint32_t
+SyndromeSubgraph::edgeIdOf(int i, int j) const
 {
     for (int32_t o = adjOffset_[i]; o < adjOffset_[i + 1]; ++o) {
         if (adjNode_[o] == j) {
-            return graph_->edges()[adjEdge_[o]];
+            return adjEdge_[o];
         }
     }
-    QEC_PANIC("edgeOf called on non-adjacent pair");
+    QEC_PANIC("edgeIdOf called on non-adjacent pair");
 }
 
 bool

@@ -9,6 +9,13 @@
  * as a flat CSR adjacency that rebuilds from a DecodeWorkspace
  * without allocating once its buffers are warm.
  *
+ * The rebuild walks the graph's pair-edge CSR (8-byte half-edge
+ * records, boundary edges pre-filtered) and tests membership with a
+ * dense detector -> local-index scratch array (O(1) per half-edge;
+ * only the previous syndrome's entries are cleared between builds),
+ * so construction touches no GraphEdge AoS records at all. Edge
+ * weight/obs lookups go through the graph's SoA hot fields.
+ *
  * Liveness (kill / refresh / #dependent counters) supports the
  * iterative Promatch rounds; one-pass predecoders just use the
  * static structure (degree / soleNeighbor / soleEdge).
@@ -100,8 +107,15 @@ class SyndromeSubgraph
         }
     }
 
-    /** The direct edge between two alive neighbors. */
-    const GraphEdge &edgeOf(int i, int j) const;
+    /** Id of the direct edge between two alive neighbors. */
+    uint32_t edgeIdOf(int i, int j) const;
+
+    /** Weight of the direct edge (i, j), from the SoA hot fields. */
+    float
+    edgeWeightOf(int i, int j) const
+    {
+        return graph_->edgeWeight(edgeIdOf(i, j));
+    }
 
     /** Hardware singleton check (Fig. 11): would matching (i, j)
      *  strand a degree-1 neighbor? */
@@ -141,6 +155,10 @@ class SyndromeSubgraph
     std::vector<uint32_t> adjEdge_;
     std::vector<int> deg_;
     std::vector<int> dependent_;
+    // Dense detector -> local index scratch (-1 = not in set). Only
+    // the previous build's entries are cleared, so a rebuild is
+    // O(defects + incident half-edges), not O(numDetectors).
+    std::vector<int32_t> localIndex_;
     int aliveCount_ = 0;
 };
 

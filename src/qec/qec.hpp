@@ -36,6 +36,7 @@
 #include "qec/dem/dem.hpp"
 #include "qec/gf2/gf2.hpp"
 #include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/distance_view.hpp"
 #include "qec/graph/path_table.hpp"
 #include "qec/harness/context.hpp"
 #include "qec/harness/histogram.hpp"

@@ -81,14 +81,7 @@ std::vector<uint32_t>
 BitVec::onesIndices() const
 {
     std::vector<uint32_t> out;
-    for (size_t w = 0; w < words.size(); ++w) {
-        uint64_t bits = words[w];
-        while (bits) {
-            const int b = std::countr_zero(bits);
-            out.push_back(static_cast<uint32_t>(w * 64 + b));
-            bits &= bits - 1;
-        }
-    }
+    forEachSetBit([&](uint32_t i) { out.push_back(i); });
     return out;
 }
 

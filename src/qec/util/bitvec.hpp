@@ -11,12 +11,29 @@
 #ifndef QEC_UTIL_BITVEC_HPP
 #define QEC_UTIL_BITVEC_HPP
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace qec
 {
+
+/**
+ * Invoke fn(bit_index) for every set bit of a word, ascending — a
+ * countr_zero walk whose cost is proportional to the popcount, not
+ * the word width. The shared idiom for extracting sparse defects
+ * from 64-lane batch words (Stim-style word iteration).
+ */
+template <typename Fn>
+inline void
+forEachSetBit(uint64_t word, Fn &&fn)
+{
+    while (word) {
+        fn(std::countr_zero(word));
+        word &= word - 1;
+    }
+}
 
 /** Fixed-length bit vector backed by 64-bit words. */
 class BitVec
@@ -53,8 +70,22 @@ class BitVec
     /** True if no bit is set. */
     bool none() const;
 
-    /** Indices of all set bits, ascending. */
+    /** Indices of all set bits, ascending. Prefer forEachSetBit in
+     *  hot paths — this allocates the result vector. */
     std::vector<uint32_t> onesIndices() const;
+
+    /** Invoke fn(index) for every set bit, ascending, without
+     *  allocating (popcount-proportional word walk). */
+    template <typename Fn>
+    void
+    forEachSetBit(Fn &&fn) const
+    {
+        for (size_t w = 0; w < words.size(); ++w) {
+            qec::forEachSetBit(words[w], [&](int b) {
+                fn(static_cast<uint32_t>(w * 64 + b));
+            });
+        }
+    }
 
     /** Direct word access for batch kernels. */
     uint64_t word(size_t w) const { return words[w]; }
