@@ -50,18 +50,20 @@ secondsSince(Clock::time_point start)
 void
 printStageBreakdown(Bench &bench, const ExperimentContext &ctx,
                     const std::string &config,
-                    const LerOptions &options)
+                    const LerOptions &options,
+                    const std::string &note_prefix = "")
 {
     const DecoderSpec spec =
         DecoderSpec::parse(specForName(config));
     LatencyConfig latency;
     PromatchConfig promatch;
-    applySpecOptions(spec.options, latency, promatch);
+    PinballConfig pinball;
+    applySpecOptions(spec.options, latency, promatch, pinball);
 
     std::unique_ptr<Predecoder> pre;
     if (!spec.partner && !spec.primary.predecoder.empty()) {
         const BuildContext context{ctx.graph(), ctx.paths(),
-                                   latency, promatch};
+                                   latency, promatch, pinball};
         pre = DecoderRegistry::instance().buildPredecoder(
             spec.primary.predecoder, context);
     }
@@ -139,9 +141,83 @@ printStageBreakdown(Bench &bench, const ExperimentContext &ctx,
     row("predecode", pre_s, predecoded);
     row("match", match_s, matched);
     bench.emit(table);
-    bench.note("stage_sample_share", sample_s / total_s);
-    bench.note("stage_predecode_share", pre_s / total_s);
-    bench.note("stage_match_share", match_s / total_s);
+    bench.note(note_prefix + "stage_sample_share",
+               sample_s / total_s);
+    bench.note(note_prefix + "stage_predecode_share",
+               pre_s / total_s);
+    bench.note(note_prefix + "stage_match_share",
+               match_s / total_s);
+    bench.note(note_prefix + "stage_predecode_ns_per_call",
+               predecoded
+                   ? pre_s * 1e9 / static_cast<double>(predecoded)
+                   : 0.0);
+}
+
+/**
+ * Accuracy/coverage comparison of every local predecoder piped into
+ * the same Astrea main decoder, on the identical d = 11 syndrome
+ * stream (counter-based Rng::forSample): committed LER, the share
+ * of syndromes where the predecoder engaged (HW > threshold), the
+ * HW coverage over that engaged population (1 - residual HW / input
+ * HW, weighted), and the share it resolved entirely locally (NSM
+ * all-or-nothing hits; SM predecoders hand a residual over).
+ */
+void
+printPredecoderComparison(Bench &bench,
+                          const ExperimentContext &ctx,
+                          LerOptions options)
+{
+    options.collectTraces = true;
+    ReportTable table(
+        "Predecoder accuracy/coverage, d = 11, p = 1e-4 "
+        "(pinball_mwpm: MWPM cleanup reference)",
+        {"stack", "LER", "engaged", "coverage",
+         "local-resolve"});
+    for (const char *config :
+         {"promatch_astrea", "clique_astrea", "smith_astrea",
+          "pinball_astrea", "pinball_mwpm"}) {
+        if (!bench.specEnabled(config)) {
+            continue;
+        }
+        auto decoder =
+            makeDecoder(config, ctx.graph(), ctx.paths());
+        double weight_total = 0.0, weight_engaged = 0.0;
+        double hw_before = 0.0, hw_after = 0.0;
+        double weight_local = 0.0;
+        const LerEstimate est = estimateLer(
+            ctx, *decoder, options,
+            [&](const SampleView &view) {
+                weight_total += view.weight;
+                if (!view.trace->predecoderEngaged) {
+                    return;
+                }
+                weight_engaged += view.weight;
+                hw_before += view.weight * view.trace->hwBefore;
+                hw_after += view.weight * view.trace->hwAfter;
+                if (view.trace->hwAfter == 0) {
+                    weight_local += view.weight;
+                }
+            });
+        table.addRow(
+            {config, formatSci(est.ler),
+             formatFixed(weight_total
+                             ? 100.0 * weight_engaged / weight_total
+                             : 0.0,
+                         2) +
+                 "%",
+             formatFixed(hw_before
+                             ? 100.0 * (1.0 - hw_after / hw_before)
+                             : 0.0,
+                         1) +
+                 "%",
+             formatFixed(weight_engaged
+                             ? 100.0 * weight_local / weight_engaged
+                             : 0.0,
+                         1) +
+                 "%"});
+        std::printf("  done: %s (comparison)\n", config);
+    }
+    bench.emit(table);
 }
 
 } // namespace
@@ -238,6 +314,15 @@ main(int argc, char **argv)
     }
     bench.emit(table);
     printStageBreakdown(bench, ctx, config, options);
+    // The Pinball onboarding rides the same report: its own
+    // per-stage breakdown and the cross-predecoder
+    // accuracy/coverage table (a --spec filter narrows the run to
+    // that configuration only, so the extra breakdown is skipped).
+    if (bench.cli().spec.empty()) {
+        printStageBreakdown(bench, ctx, "pinball_astrea", options,
+                            "pinball_");
+    }
+    printPredecoderComparison(bench, ctx, options);
     // Scalar metrics for the BENCH_ler_throughput.json trajectory
     // (compared across PRs; see docs/benchmarks.md).
     bench.note("serial_samples_per_s",

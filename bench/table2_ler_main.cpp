@@ -33,6 +33,9 @@ struct Row
     double paperD13;
 };
 
+// A paper value of 0 marks configurations the paper did not
+// evaluate (the registry-onboarded Pinball predecoder); the table
+// prints "-" there.
 constexpr Row kRows[] = {
     {"mwpm", "MWPM (Ideal)", 1.8e-13, 3.4e-15},
     {"promatch_par_ag", "Promatch || AG", 1.8e-13, 3.4e-15},
@@ -40,6 +43,8 @@ constexpr Row kRows[] = {
     {"astrea_g", "Astrea-G (AG)", 4.5e-13, 1.4e-13},
     {"smith_par_ag", "Smith || AG", 2.5e-13, 1.5e-14},
     {"smith_astrea", "Smith + Astrea", 4.4e-11, 6.9e-11},
+    {"pinball_par_ag", "Pinball || AG", 0.0, 0.0},
+    {"pinball_astrea", "Pinball + Astrea", 0.0, 0.0},
 };
 
 struct Measured
@@ -83,11 +88,15 @@ main(int argc, char **argv)
         }
         const Measured m11 = measure(bench, ctx11, row.config);
         const Measured m13 = measure(bench, ctx13, row.config);
+        const auto paper = [](double value) {
+            return value > 0.0 ? formatSci(value)
+                               : std::string("-");
+        };
         table.addRow({row.label, formatSci(m11.ler),
                       formatSci(m11.condHighHw),
-                      formatSci(row.paperD11), formatSci(m13.ler),
+                      paper(row.paperD11), formatSci(m13.ler),
                       formatSci(m13.condHighHw),
-                      formatSci(row.paperD13)});
+                      paper(row.paperD13)});
         std::printf("  done: %s\n", row.label);
     }
     bench.emit(table);

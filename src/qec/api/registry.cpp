@@ -211,6 +211,15 @@ void
 applySpecOptions(const std::map<std::string, std::string> &options,
                  LatencyConfig &latency, PromatchConfig &promatch)
 {
+    PinballConfig pinball;
+    applySpecOptions(options, latency, promatch, pinball);
+}
+
+void
+applySpecOptions(const std::map<std::string, std::string> &options,
+                 LatencyConfig &latency, PromatchConfig &promatch,
+                 PinballConfig &pinball)
+{
     for (const auto &[key, value] : options) {
         // Domain guard: several knobs are divisors or physical
         // quantities; a syntactically valid but out-of-domain value
@@ -273,6 +282,11 @@ applySpecOptions(const std::map<std::string, std::string> &options,
             promatch.enableStep3 = parseBoolOption(key, value);
         } else if (key == "step4") {
             promatch.enableStep4 = parseBoolOption(key, value);
+        } else if (key == "pinball_rounds") {
+            pinball.rounds = parseIntOption(key, value);
+            require(pinball.rounds >= 1, "positive");
+        } else if (key == "pinball_boundary") {
+            pinball.matchBoundary = parseBoolOption(key, value);
         } else {
             throw SpecError("unknown spec option '" + key + "'");
         }
@@ -284,9 +298,9 @@ build(const DecoderSpec &spec, const DecodingGraph &graph,
       const PathTable &paths, const LatencyConfig &latency,
       const PromatchConfig &promatch)
 {
-    BuildContext context{graph, paths, latency, promatch};
+    BuildContext context{graph, paths, latency, promatch, {}};
     applySpecOptions(spec.options, context.latency,
-                     context.promatch);
+                     context.promatch, context.pinball);
     std::unique_ptr<Decoder> primary =
         buildStack(spec.primary, context);
     if (!spec.partner) {

@@ -35,6 +35,7 @@
 #include "qec/api/decoder_spec.hpp"
 #include "qec/decoders/decoder.hpp"
 #include "qec/decoders/latency.hpp"
+#include "qec/predecode/pinball.hpp"
 #include "qec/predecode/predecoder.hpp"
 #include "qec/predecode/promatch.hpp"
 
@@ -50,6 +51,8 @@ struct BuildContext
     LatencyConfig latency;
     /** Promatch tunables, with spec options already applied. */
     PromatchConfig promatch;
+    /** Pinball tunables, with spec options already applied. */
+    PinballConfig pinball;
 };
 
 /** Process-wide registry of decoder / predecoder builders. */
@@ -118,6 +121,12 @@ std::unique_ptr<Decoder> build(const DecoderSpec &spec,
  * harnesses can resolve the effective configs without building.
  * Throws SpecError on unknown keys or unparseable values.
  */
+void applySpecOptions(const std::map<std::string, std::string> &options,
+                      LatencyConfig &latency,
+                      PromatchConfig &promatch,
+                      PinballConfig &pinball);
+
+/** Convenience overload discarding the Pinball config. */
 void applySpecOptions(const std::map<std::string, std::string> &options,
                       LatencyConfig &latency,
                       PromatchConfig &promatch);

@@ -12,7 +12,7 @@ namespace
 {
 
 /** Historical evaluation names -> canonical spec strings. */
-constexpr std::array<std::pair<const char *, const char *>, 12>
+constexpr std::array<std::pair<const char *, const char *>, 15>
     kLegacyNames{{
         {"mwpm", "mwpm"},
         {"astrea", "astrea"},
@@ -26,6 +26,9 @@ constexpr std::array<std::pair<const char *, const char *>, 12>
         {"clique_ag", "clique+astrea_g"},
         {"promatch_par_ag", "promatch+astrea||astrea_g"},
         {"smith_par_ag", "smith+astrea||astrea_g"},
+        {"pinball_astrea", "pinball+astrea"},
+        {"pinball_mwpm", "pinball+mwpm"},
+        {"pinball_par_ag", "pinball+astrea||astrea_g"},
     }};
 
 } // namespace

@@ -14,13 +14,30 @@ ImportanceSampler::ImportanceSampler(const DetectorErrorModel &dem,
     const auto &mechanisms = dem.mechanisms();
     QEC_ASSERT(!mechanisms.empty(), "empty detector error model");
     QEC_ASSERT(k_max >= 1, "k_max must be positive");
+    // Probabilities must lie in [0, 1): p == 1 breaks both the DP
+    // (the 1-p factors collapse) and the p/(1-p) draw weights below,
+    // and negative or >1 values are corrupt input. At least one
+    // mechanism must be able to fire, or conditional sampling has
+    // nothing to draw from.
+    bool any_positive = false;
+    for (const DemMechanism &m : mechanisms) {
+        QEC_ASSERT(m.prob >= 0.0 && m.prob < 1.0,
+                   "mechanism probability must be in [0, 1)");
+        any_positive = any_positive || m.prob > 0.0;
+    }
+    QEC_ASSERT(any_positive,
+               "all mechanism probabilities are zero");
 
     // Exact Poisson-binomial DP over the fault count, truncated at
-    // k_max (the tail above k_max is irrelevant for Eq. 1).
+    // k_max (the tail above k_max is irrelevant for Eq. 1). The
+    // inner loop must run all the way up to kMax_: capping it lower
+    // silently drops the mass above the cap, so occurrenceProb()
+    // would underreport for models whose fault count concentrates
+    // past it (regression-tested in tests/test_harness.cpp).
     po[0] = 1.0;
     for (const DemMechanism &m : mechanisms) {
         lambda += m.prob;
-        for (int k = std::min<int>(kMax_, 1000); k >= 1; --k) {
+        for (int k = kMax_; k >= 1; --k) {
             po[k] = po[k] * (1.0 - m.prob) + po[k - 1] * m.prob;
         }
         po[0] *= (1.0 - m.prob);

@@ -28,8 +28,6 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
     alive_.assign(n, 1);
     aliveCount_ = n;
     adjOffset_.assign(n + 1, 0);
-    deg_.assign(n, 0);
-    dependent_.assign(n, 0);
     for (int i = 0; i < n; ++i) {
         localIndex_[dets_[i]] = i;
     }
@@ -57,42 +55,36 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
     for (int i = 0; i < n; ++i) {
         adjOffset_[i + 1] += adjOffset_[i];
     }
+    // All nodes start alive, so the live degree is the static row
+    // length and #dependent counts static degree-1 neighbors; the
+    // first snapshot is published directly.
+    degLive_.assign(n, 0);
+    depLive_.assign(n, 0);
+    dirty_.clear();
     for (int i = 0; i < n; ++i) {
-        deg_[i] = adjOffset_[i + 1] - adjOffset_[i];
+        degLive_[i] = adjOffset_[i + 1] - adjOffset_[i];
     }
-    refresh();
+    for (int i = 0; i < n; ++i) {
+        int dep = 0;
+        for (int j : neighbors(i)) {
+            if (degLive_[j] == 1) {
+                ++dep;
+            }
+        }
+        depLive_[i] = dep;
+    }
+    deg_.assign(degLive_.begin(), degLive_.end());
+    dependent_.assign(depLive_.begin(), depLive_.end());
 }
 
 void
 SyndromeSubgraph::refresh()
 {
-    const int n = size();
-    for (int i = 0; i < n; ++i) {
-        if (!alive_[i]) {
-            deg_[i] = 0;
-            continue;
-        }
-        int d = 0;
-        for (int j : neighbors(i)) {
-            if (alive_[j]) {
-                ++d;
-            }
-        }
-        deg_[i] = d;
+    for (const int32_t i : dirty_) {
+        deg_[i] = degLive_[i];
+        dependent_[i] = depLive_[i];
     }
-    for (int i = 0; i < n; ++i) {
-        if (!alive_[i]) {
-            dependent_[i] = 0;
-            continue;
-        }
-        int dep = 0;
-        for (int j : neighbors(i)) {
-            if (alive_[j] && deg_[j] == 1) {
-                ++dep;
-            }
-        }
-        dependent_[i] = dep;
-    }
+    dirty_.clear();
 }
 
 uint32_t
@@ -140,8 +132,39 @@ void
 SyndromeSubgraph::kill(int i)
 {
     QEC_ASSERT(alive_[i], "killing a dead node");
+    // A live degree-1 node contributes to its sole alive neighbor's
+    // #dependent; retire that contribution before i disappears.
+    if (degLive_[i] == 1) {
+        for (const int j : neighbors(i)) {
+            if (alive_[j]) {
+                --depLive_[j];
+                dirty_.push_back(j);
+            }
+        }
+    }
     alive_[i] = 0;
     --aliveCount_;
+    for (const int j : neighbors(i)) {
+        if (!alive_[j]) {
+            continue;
+        }
+        const int old_deg = degLive_[j]--;
+        dirty_.push_back(j);
+        if (old_deg == 2) {
+            // j just became degree-1: every remaining alive
+            // neighbor of j now depends on it. (A 1 -> 0 transition
+            // needs no propagation — j's only alive neighbor was i.)
+            for (const int k : neighbors(j)) {
+                if (alive_[k]) {
+                    ++depLive_[k];
+                    dirty_.push_back(k);
+                }
+            }
+        }
+    }
+    degLive_[i] = 0;
+    depLive_[i] = 0;
+    dirty_.push_back(i);
 }
 
 } // namespace qec

@@ -19,6 +19,21 @@
  * Liveness (kill / refresh / #dependent counters) supports the
  * iterative Promatch rounds; one-pass predecoders just use the
  * static structure (degree / soleNeighbor / soleEdge).
+ *
+ * Liveness is maintained incrementally: kill(i) decrements the live
+ * degree of i's alive neighbors and propagates the induced
+ * #dependent deltas (a degree 2 -> 1 transition makes a node
+ * dependent on its last neighbor; 1 -> 0 has nothing left to
+ * notify), recording every touched index on a dirty list. refresh()
+ * — the per-round synchronization point that consumers like
+ * Promatch call between kill batches — then just publishes the
+ * dirty entries into the snapshot arrays read by degree() /
+ * createsSingletonHw(), instead of recomputing all V+E counters
+ * from scratch. Between refresh() calls the snapshot intentionally
+ * lags the kills, matching the per-round hardware evaluation the
+ * predecoders model (and the historical full-recompute behavior
+ * bit for bit; equivalence is enforced by a randomized kill-
+ * sequence test in tests/test_workspace.cpp).
  */
 
 #ifndef QEC_PREDECODE_SYNDROME_SUBGRAPH_HPP
@@ -50,6 +65,17 @@ class SyndromeSubgraph
     uint32_t det(int i) const { return dets_[i]; }
     bool alive(int i) const { return alive_[i] != 0; }
     int degree(int i) const { return deg_[i]; }
+    /** Published #dependent counter of node i (Fig. 11): how many
+     *  alive neighbors have live degree 1. */
+    int dependentCount(int i) const { return dependent_[i]; }
+
+    /** Local index of a detector of the current build, or -1 when
+     *  the detector is not part of this syndrome. */
+    int32_t
+    localIndexOf(uint32_t det) const
+    {
+        return localIndex_[det];
+    }
 
     /** In-set neighbors of i (local indices), dead ones included. */
     std::span<const int32_t>
@@ -84,7 +110,12 @@ class SyndromeSubgraph
         return adjEdge_[adjOffset_[i] + o];
     }
 
-    /** Recompute degrees and #dependent counters (Fig. 9). */
+    /**
+     * Publish the live degree and #dependent counters accumulated
+     * by kill() into the snapshot read by degree() /
+     * createsSingletonHw() (Fig. 9). O(entries touched since the
+     * last refresh), not O(V + E).
+     */
     void refresh();
 
     /** Append the alive-alive edges (i < j) of the current
@@ -153,8 +184,16 @@ class SyndromeSubgraph
     std::vector<int32_t> adjOffset_;
     std::vector<int32_t> adjNode_;
     std::vector<uint32_t> adjEdge_;
+    // Snapshot counters, published by refresh(); what degree() and
+    // the singleton checks read between rounds.
     std::vector<int> deg_;
     std::vector<int> dependent_;
+    // Live counters, maintained eagerly by kill(); dirty_ records
+    // which indices diverged from the snapshot (duplicates are
+    // fine — publishing is idempotent).
+    std::vector<int> degLive_;
+    std::vector<int> depLive_;
+    std::vector<int32_t> dirty_;
     // Dense detector -> local index scratch (-1 = not in set). Only
     // the previous build's entries are cleared, so a rebuild is
     // O(defects + incident half-edges), not O(numDetectors).

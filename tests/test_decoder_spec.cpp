@@ -18,6 +18,7 @@
 #include "qec/decoders/pipeline.hpp"
 #include "qec/harness/context.hpp"
 #include "qec/harness/importance_sampler.hpp"
+#include "qec/predecode/pinball.hpp"
 #include "qec/predecode/promatch.hpp"
 
 namespace qec
@@ -59,6 +60,8 @@ TEST(DecoderSpec, RoundTripsThroughToString)
         "promatch+astrea||astrea_g",
         "smith+astrea||clique+astrea_g",
         "promatch+astrea||astrea_g?hw_threshold=8&step4=0",
+        "pinball+mwpm",
+        "pinball+astrea_g?pinball_boundary=0&pinball_rounds=3",
     };
     for (const char *text : specs) {
         const DecoderSpec spec = DecoderSpec::parse(text);
@@ -185,6 +188,50 @@ TEST(DecoderSpec, OptionsOverrideLatencyAndPromatchConfig)
     }
 }
 
+TEST(DecoderSpec, PinballSpecsParseBuildAndConfigure)
+{
+    // The registry-onboarding contract for a new predecoder
+    // (docs/api.md worked example): every spec shape must build,
+    // and its option keys must land in the component's config.
+    const auto &ctx = ExperimentContext::get(3, 1e-3);
+    for (const char *text :
+         {"pinball+mwpm", "pinball+astrea",
+          "pinball+astrea_g?hw_threshold=8",
+          "pinball+astrea||astrea_g",
+          "promatch+astrea||pinball+astrea_g"}) {
+        auto decoder =
+            build(DecoderSpec::parse(text), ctx.graph(),
+                  ctx.paths());
+        ASSERT_NE(decoder, nullptr) << text;
+    }
+
+    auto decoder = build(
+        DecoderSpec::parse(
+            "pinball+mwpm?pinball_rounds=4&pinball_boundary=off"),
+        ctx.graph(), ctx.paths());
+    auto *pipe = dynamic_cast<PredecodedDecoder *>(decoder.get());
+    ASSERT_NE(pipe, nullptr);
+    auto *pinball =
+        dynamic_cast<PinballPredecoder *>(&pipe->predecoder());
+    ASSERT_NE(pinball, nullptr);
+    EXPECT_EQ(pinball->config().rounds, 4);
+    EXPECT_FALSE(pinball->config().matchBoundary);
+
+    // Option domain guards.
+    const auto try_build = [&](const char *text) {
+        return build(DecoderSpec::parse(text), ctx.graph(),
+                     ctx.paths());
+    };
+    EXPECT_THROW(try_build("pinball+mwpm?pinball_rounds=0"),
+                 SpecError);
+    EXPECT_THROW(try_build("pinball+mwpm?pinball_rounds=two"),
+                 SpecError);
+    EXPECT_THROW(try_build("pinball+mwpm?pinball_boundary=maybe"),
+                 SpecError);
+    // Role confusion still throws.
+    EXPECT_THROW(try_build("pinball"), SpecError);
+}
+
 TEST(DecoderRegistry, ComponentsAreRegistered)
 {
     const DecoderRegistry &registry = DecoderRegistry::instance();
@@ -194,7 +241,8 @@ TEST(DecoderRegistry, ComponentsAreRegistered)
         EXPECT_FALSE(registry.describe(name).empty()) << name;
     }
     for (const char *name :
-         {"promatch", "smith", "clique", "hierarchical"}) {
+         {"promatch", "smith", "clique", "hierarchical",
+          "pinball"}) {
         EXPECT_TRUE(registry.hasPredecoder(name)) << name;
         EXPECT_FALSE(registry.describe(name).empty()) << name;
     }

@@ -95,6 +95,71 @@ TEST(ImportanceSampler, SamplesHaveRequestedFaultCountParity)
     }
 }
 
+TEST(ImportanceSampler, OccurrenceCoversTailAboveLegacyDpCap)
+{
+    // Regression: the Poisson-binomial DP used to cap its inner
+    // loop at k = 1000 regardless of k_max, silently dropping all
+    // mass above the cap. A model whose fault count concentrates
+    // past 1000 (1200 near-certain mechanisms -> mean 1080) then
+    // reported occurrenceProb ~ 0 everywhere that matters.
+    const int m = 1200;
+    const double p = 0.9;
+    DetectorErrorModel dem(m, 1);
+    for (int i = 0; i < m; ++i) {
+        dem.addMechanism({static_cast<uint32_t>(i)}, 0, p);
+    }
+    ImportanceSampler sampler(dem, m);
+    double total = 0.0;
+    for (int k = 0; k <= m; ++k) {
+        total += sampler.occurrenceProb(k);
+    }
+    // The DP runs to k_max = M, so the distribution is complete.
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_LE(total, 1.0 + 1e-9);
+    // The bulk of the mass sits above the legacy cap...
+    EXPECT_GT(sampler.occurrenceProb(1080), 1e-3);
+    // ...and the tail beyond the mode decays monotonically.
+    for (int k = 1100; k < m; ++k) {
+        EXPECT_GE(sampler.occurrenceProb(k),
+                  sampler.occurrenceProb(k + 1))
+            << "k=" << k;
+    }
+}
+
+TEST(ImportanceSamplerDeathTest, RejectsOutOfRangeProbabilities)
+{
+    // p == 1 would divide the DP's draw weights p/(1-p) by zero
+    // (and collapse every 1-p factor); the constructor must refuse
+    // it, along with anything outside [0, 1).
+    DetectorErrorModel certain(4, 1);
+    certain.addMechanism({0}, 0, 0.01);
+    certain.addMechanism({1}, 0, 1.0);
+    EXPECT_DEATH(ImportanceSampler sampler(certain, 4),
+                 "probability must be in \\[0, 1\\)");
+
+    DetectorErrorModel overflow(4, 1);
+    overflow.addMechanism({0}, 0, 1.5);
+    EXPECT_DEATH(ImportanceSampler sampler(overflow, 4),
+                 "probability must be in \\[0, 1\\)");
+}
+
+TEST(ImportanceSamplerDeathTest, RejectsAllZeroProbModel)
+{
+    // With every probability zero the conditional draw has nothing
+    // to select (the cumulative weight table is all zeros), so
+    // sample() could only spin; the constructor must refuse the
+    // model up front. addMechanism drops p <= 0 inputs, but its
+    // XOR-merge of two certain faults (1 + 1 - 2*1*1) produces a
+    // genuine zero-probability mechanism.
+    DetectorErrorModel dem(4, 1);
+    dem.addMechanism({0}, 0, 1.0);
+    dem.addMechanism({0}, 0, 1.0);
+    ASSERT_EQ(dem.mechanisms().size(), 1u);
+    ASSERT_EQ(dem.mechanisms()[0].prob, 0.0);
+    EXPECT_DEATH(ImportanceSampler sampler(dem, 4),
+                 "all mechanism probabilities are zero");
+}
+
 TEST(ImportanceSampler, WeightsBiasTowardProbableMechanisms)
 {
     DetectorErrorModel dem(4, 1);

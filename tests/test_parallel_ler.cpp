@@ -123,12 +123,14 @@ expectSameEstimate(const LerEstimate &a, const LerEstimate &b,
 
 TEST(ParallelLer, EstimateIsBitIdenticalAcrossThreadCounts)
 {
-    // The determinism suite: promatch+astrea, astrea_g and mwpm at
-    // d = 5 must produce bit-identical LerEstimates for threads in
-    // {1, 2, 8} and for the 0 = hardware-concurrency default.
+    // The determinism suite: promatch+astrea, astrea_g, mwpm and
+    // the pinball+* stacks at d = 5 must produce bit-identical
+    // LerEstimates for threads in {1, 2, 8} and for the 0 =
+    // hardware-concurrency default.
     const auto &ctx = ExperimentContext::get(5, 1e-3);
     for (const char *spec :
-         {"promatch+astrea", "astrea_g", "mwpm"}) {
+         {"promatch+astrea", "astrea_g", "mwpm", "pinball+mwpm",
+          "pinball+astrea"}) {
         auto decoder = build(DecoderSpec::parse(spec),
                              ctx.graph(), ctx.paths());
         LerOptions options;

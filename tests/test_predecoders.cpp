@@ -14,6 +14,7 @@
 #include "qec/harness/importance_sampler.hpp"
 #include "qec/predecode/clique.hpp"
 #include "qec/predecode/hierarchical.hpp"
+#include "qec/predecode/pinball.hpp"
 #include "qec/predecode/promatch.hpp"
 #include "qec/predecode/smith.hpp"
 
@@ -233,6 +234,129 @@ TEST(Smith, OnePassMatchesOnlyAdjacentPairs)
         // weak check: residual is subset and sorted.
         EXPECT_TRUE(std::is_sorted(result.residual.begin(),
                                    result.residual.end()));
+    }
+}
+
+TEST(Pinball, ResidualIsSortedSubsetWithConsistentParity)
+{
+    const auto &ctx = ExperimentContext::get(9, 1e-3);
+    PinballPredecoder pinball(ctx.graph(), ctx.paths());
+    for (const auto &defects : highHwSyndromes(ctx, 30, 0x31)) {
+        const PredecodeResult result =
+            pinball.predecode(defects, kBudgetCycles);
+        const std::set<uint32_t> input(defects.begin(),
+                                       defects.end());
+        for (uint32_t det : result.residual) {
+            EXPECT_TRUE(input.count(det));
+        }
+        EXPECT_TRUE(std::is_sorted(result.residual.begin(),
+                                   result.residual.end()));
+        EXPECT_LE(result.residual.size(), defects.size());
+        // SM contract: it prematches, never forwards or finishes.
+        EXPECT_FALSE(result.forwarded);
+        EXPECT_FALSE(result.decodedAll);
+    }
+}
+
+TEST(Pinball, RoundsAndCyclesAreBounded)
+{
+    // The modeled pipeline is fixed-latency: at most
+    // PinballConfig::rounds propose/commit rounds, each at a
+    // constant cycle charge, independent of the Hamming weight.
+    const auto &ctx = ExperimentContext::get(9, 1e-3);
+    PinballConfig config;
+    config.rounds = 3;
+    PinballPredecoder pinball(ctx.graph(), ctx.paths(), config);
+    for (const auto &defects : highHwSyndromes(ctx, 30, 0x32)) {
+        const PredecodeResult result =
+            pinball.predecode(defects, kBudgetCycles);
+        EXPECT_GE(result.rounds, 1);
+        EXPECT_LE(result.rounds, 3);
+        EXPECT_EQ(result.cycles % result.rounds, 0)
+            << "per-round charge must be constant";
+        EXPECT_EQ(result.cycles / result.rounds, 3);
+    }
+}
+
+TEST(Pinball, MatchesIsolatedPairViaMutualSelection)
+{
+    // An isolated adjacent pair is each endpoint's only pattern
+    // hit, so the selections are mutual and the pair commits in
+    // round 1.
+    const auto &ctx = ExperimentContext::get(9, 1e-3);
+    const DecodingGraph &graph = ctx.graph();
+    int pair_edge = -1;
+    for (const GraphEdge &edge : graph.edges()) {
+        if (edge.v != kBoundary) {
+            pair_edge = static_cast<int>(edge.id);
+            break;
+        }
+    }
+    ASSERT_GE(pair_edge, 0);
+    const GraphEdge &edge = graph.edges()[pair_edge];
+    std::vector<uint32_t> defects = {edge.u, edge.v};
+    std::sort(defects.begin(), defects.end());
+
+    PinballPredecoder pinball(ctx.graph(), ctx.paths());
+    const PredecodeResult result =
+        pinball.predecode(defects, kBudgetCycles);
+    EXPECT_FALSE(std::binary_search(result.residual.begin(),
+                                    result.residual.end(), edge.u));
+    EXPECT_FALSE(std::binary_search(result.residual.begin(),
+                                    result.residual.end(), edge.v));
+    EXPECT_EQ(result.obsMask, graph.edgeObsMask(edge.id));
+}
+
+TEST(Pinball, BoundaryPatternIsConfigurable)
+{
+    // A lone flipped bit with a boundary edge commits to the
+    // boundary pattern; with pinball_boundary off it must survive
+    // to the residual.
+    const auto &ctx = ExperimentContext::get(9, 1e-3);
+    const DecodingGraph &graph = ctx.graph();
+    uint32_t lone = kBoundary;
+    for (uint32_t det = 0; det < graph.numDetectors(); ++det) {
+        if (graph.boundaryEdge(det) >= 0) {
+            lone = det;
+            break;
+        }
+    }
+    ASSERT_NE(lone, kBoundary);
+    const std::vector<uint32_t> defects = {lone};
+
+    PinballPredecoder with_boundary(ctx.graph(), ctx.paths());
+    const PredecodeResult hit =
+        with_boundary.predecode(defects, kBudgetCycles);
+    EXPECT_TRUE(hit.residual.empty());
+    const uint32_t beid =
+        static_cast<uint32_t>(graph.boundaryEdge(lone));
+    EXPECT_EQ(hit.obsMask, graph.edgeObsMask(beid));
+
+    PinballConfig no_boundary;
+    no_boundary.matchBoundary = false;
+    PinballPredecoder without(ctx.graph(), ctx.paths(),
+                              no_boundary);
+    const PredecodeResult miss =
+        without.predecode(defects, kBudgetCycles);
+    EXPECT_EQ(miss.residual, defects);
+    EXPECT_EQ(miss.obsMask, 0ull);
+}
+
+TEST(Pinball, CloneIsBitIdentical)
+{
+    const auto &ctx = ExperimentContext::get(9, 1e-3);
+    PinballPredecoder pinball(ctx.graph(), ctx.paths());
+    auto clone = pinball.clone();
+    for (const auto &defects : highHwSyndromes(ctx, 20, 0x33)) {
+        const PredecodeResult a =
+            pinball.predecode(defects, kBudgetCycles);
+        const PredecodeResult b =
+            clone->predecode(defects, kBudgetCycles);
+        EXPECT_EQ(a.residual, b.residual);
+        EXPECT_EQ(a.obsMask, b.obsMask);
+        EXPECT_EQ(a.weight, b.weight);
+        EXPECT_EQ(a.cycles, b.cycles);
+        EXPECT_EQ(a.rounds, b.rounds);
     }
 }
 

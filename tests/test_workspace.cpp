@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -152,7 +153,9 @@ syndromeSet(const ExperimentContext &ctx)
 }
 
 const char *const kZeroAllocSpecs[] = {"promatch+astrea",
-                                       "astrea_g", "mwpm"};
+                                       "astrea_g", "mwpm",
+                                       "pinball+mwpm",
+                                       "pinball+astrea"};
 
 TEST(WorkspaceZeroAlloc, ExplicitWorkspaceSteadyState)
 {
@@ -345,6 +348,75 @@ TEST(Arena, ArenaVectorGrowsAndKeepsContents)
     }
     v.clear();
     EXPECT_TRUE(v.empty());
+}
+
+TEST(Workspace, SyndromeSubgraphIncrementalLivenessMatchesRecompute)
+{
+    // kill() maintains the live degree / #dependent counters
+    // incrementally and refresh() publishes only the dirty entries;
+    // after any kill sequence + refresh, the published counters
+    // must equal a from-scratch recompute over the alive set (the
+    // historical O(V+E) refresh semantics).
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    ImportanceSampler sampler(ctx.dem(), 14);
+    SyndromeSubgraph subgraph;
+    Rng rng(0x1d1e);
+    for (int round = 0; round < 30; ++round) {
+        const auto sample = sampler.sample(2 + round % 12, rng);
+        subgraph.build(ctx.graph(), sample.defects);
+        const int n = subgraph.size();
+        // Random kill sequence with refresh() at random points;
+        // compare the published snapshot against a from-scratch
+        // recompute after every refresh.
+        std::vector<int> alive_order(n);
+        std::iota(alive_order.begin(), alive_order.end(), 0);
+        int remaining = n;
+        while (remaining > 0) {
+            // Kill 1..3 random alive nodes, then refresh + check.
+            const int burst =
+                1 + static_cast<int>(rng.nextBelow(3));
+            for (int b = 0; b < burst && remaining > 0; ++b) {
+                const int pick = static_cast<int>(
+                    rng.nextBelow(static_cast<uint64_t>(remaining)));
+                std::swap(alive_order[pick],
+                          alive_order[remaining - 1]);
+                subgraph.kill(alive_order[remaining - 1]);
+                --remaining;
+            }
+            subgraph.refresh();
+
+            std::vector<int> ref_deg(n, 0), ref_dep(n, 0);
+            for (int i = 0; i < n; ++i) {
+                if (!subgraph.alive(i)) {
+                    continue;
+                }
+                for (int j : subgraph.neighbors(i)) {
+                    if (subgraph.alive(j)) {
+                        ++ref_deg[i];
+                    }
+                }
+            }
+            for (int i = 0; i < n; ++i) {
+                if (!subgraph.alive(i)) {
+                    continue;
+                }
+                for (int j : subgraph.neighbors(i)) {
+                    if (subgraph.alive(j) && ref_deg[j] == 1) {
+                        ++ref_dep[i];
+                    }
+                }
+            }
+            for (int i = 0; i < n; ++i) {
+                ASSERT_EQ(subgraph.degree(i), ref_deg[i])
+                    << "degree mismatch at node " << i
+                    << " remaining=" << remaining;
+                ASSERT_EQ(subgraph.dependentCount(i), ref_dep[i])
+                    << "dependent mismatch at node " << i
+                    << " remaining=" << remaining;
+            }
+        }
+        EXPECT_EQ(subgraph.aliveCount(), 0);
+    }
 }
 
 TEST(Workspace, SyndromeSubgraphRebuildsInPlace)
