@@ -1,0 +1,236 @@
+/**
+ * Streaming decode service: sustained QPS and tail latency.
+ *
+ * Drives a DecodeServer over pre-drawn d = 11, p = 1e-4 syndrome
+ * streams in two phases:
+ *
+ *  1. closed loop — a producer submits as fast as admission allows
+ *     for QEC_SERVE_SECONDS; completions/second is the sustained
+ *     saturation QPS of the worker pool;
+ *  2. open loop — submissions are paced at a fixed offered rate
+ *     (QEC_SERVE_QPS, default 70% of the measured saturation), the
+ *     regime where queueing delay, not service time, shapes the
+ *     tail; p50/p99/p999 of submit-to-completion latency are
+ *     reported from the server's histograms.
+ *
+ * Shared CLI (docs/benchmarks.md): --threads sets the worker pool
+ * size (0 = one per hardware thread), --repeat reports the median
+ * of N runs per phase, --json writes the report
+ * (BENCH_serve_latency.json is the committed trajectory). Extra
+ * knobs ride environment variables so the shared CLI stays shared:
+ *
+ *   QEC_SERVE_SECONDS  measured seconds per phase (default 2)
+ *   QEC_SERVE_QPS      open-loop offered load (default 0 =
+ *                      0.7 x measured saturation)
+ *   QEC_SERVE_RING     request-slot / ring capacity (default 256)
+ *   QEC_SERVE_POOL     pre-drawn stream pool size (default 2048)
+ */
+
+#include "bench_common.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace
+{
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *text = std::getenv(name);
+    if (!text || !*text) {
+        return fallback;
+    }
+    char *end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    return (end && *end == '\0' && parsed > 0.0) ? parsed
+                                                 : fallback;
+}
+
+struct PhaseResult
+{
+    double offeredQps = 0.0; //!< 0 = closed loop (no pacing).
+    double achievedQps = 0.0;
+    double p50 = 0.0, p99 = 0.0, p999 = 0.0;
+    double servicP50 = 0.0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+};
+
+/** One measured phase over a running server; stats are reset
+ *  before and harvested after a full drain. */
+PhaseResult
+runPhase(qec::DecodeServer &server,
+         const std::vector<qec::SyndromeStream> &pool,
+         double seconds, double offeredQps)
+{
+    using clock = std::chrono::steady_clock;
+    server.resetStats();
+
+    const auto start = clock::now();
+    const auto deadline =
+        start + std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    uint64_t submitted = 0;
+    size_t next = 0;
+    while (clock::now() < deadline) {
+        if (offeredQps > 0.0) {
+            // Open loop: each request has a scheduled arrival time;
+            // a request the ring rejects at its arrival is dropped
+            // (counted), not retried — that is the backpressure
+            // contract under offered load.
+            const auto due =
+                start +
+                std::chrono::duration_cast<clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(submitted) /
+                        offeredQps));
+            while (clock::now() < due) {
+                std::this_thread::yield();
+            }
+            server.submit(pool[next], next);
+            ++submitted;
+        } else {
+            // Closed loop: retry until admitted — measures the
+            // pool's saturation throughput.
+            while (!server.submit(pool[next], next)) {
+                std::this_thread::yield();
+            }
+            ++submitted;
+        }
+        next = (next + 1) % pool.size();
+    }
+    server.drain();
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - start)
+            .count();
+
+    const qec::ServeStats stats = server.stats();
+    PhaseResult r;
+    r.offeredQps = offeredQps;
+    r.achievedQps =
+        static_cast<double>(stats.completed) / elapsed;
+    r.completed = stats.completed;
+    r.rejected = stats.rejected;
+    r.p50 = stats.latency.quantile(0.50);
+    r.p99 = stats.latency.quantile(0.99);
+    r.p999 = stats.latency.quantile(0.999);
+    r.servicP50 = stats.service.quantile(0.50);
+    return r;
+}
+
+std::string
+formatNs(double ns)
+{
+    return qec::formatFixed(ns / 1e3, 1) + " us";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    qecbench::Bench bench(
+        argc, argv, "serve_latency",
+        "streaming decode service: sustained QPS and tail "
+        "latency, d = 11, p = 1e-4");
+
+    const std::string spec = bench.specOr("pinball+astrea");
+    const double seconds =
+        envDouble("QEC_SERVE_SECONDS", 2.0) * qec::benchScale();
+    const double offeredEnv = envDouble("QEC_SERVE_QPS", 0.0);
+    const int ringCapacity =
+        static_cast<int>(envDouble("QEC_SERVE_RING", 256));
+    const int poolSize =
+        static_cast<int>(envDouble("QEC_SERVE_POOL", 2048));
+    const int workers =
+        bench.cli().threads
+            ? bench.cli().threads
+            : static_cast<int>(
+                  std::thread::hardware_concurrency());
+
+    const auto &ctx = qec::ExperimentContext::get(11, 1e-4);
+    const int detPerRound = static_cast<int>(
+        ctx.experiment().circuit.numDetectors() /
+        static_cast<size_t>(ctx.rounds() + 1));
+    std::printf("\nsampling %d streams (%d rounds each)...\n",
+                poolSize, ctx.rounds());
+    const auto pool =
+        qec::sampleStreams(ctx, 0x5e2e, poolSize);
+
+    auto proto = qec::build(qec::DecoderSpec::parse(spec),
+                            ctx.graph(), ctx.paths());
+    qec::ServeConfig config;
+    config.workers = workers;
+    config.queueCapacity = ringCapacity;
+    qec::DecodeServer server(*proto, detPerRound, config);
+    std::printf("spec=%s workers=%d ring=%zu phase=%.2fs\n",
+                spec.c_str(), workers,
+                static_cast<size_t>(config.queueCapacity),
+                seconds);
+
+    // Warmup: every worker's scratch reaches steady capacity.
+    runPhase(server, pool, std::min(seconds, 0.25), 0.0);
+
+    std::vector<double> satQps, satP50;
+    std::vector<double> openP50, openP99, openP999, openQps,
+        openDrop;
+    double offered = 0.0;
+    for (int rep = 0; rep < bench.cli().repeat; ++rep) {
+        const PhaseResult sat =
+            runPhase(server, pool, seconds, 0.0);
+        satQps.push_back(sat.achievedQps);
+        satP50.push_back(sat.p50);
+        // Offered load fixed across repeats, from the first
+        // saturation measurement (or the env override).
+        if (offered == 0.0) {
+            offered = offeredEnv > 0.0 ? offeredEnv
+                                       : 0.7 * sat.achievedQps;
+        }
+        const PhaseResult open =
+            runPhase(server, pool, seconds, offered);
+        openQps.push_back(open.achievedQps);
+        openP50.push_back(open.p50);
+        openP99.push_back(open.p99);
+        openP999.push_back(open.p999);
+        openDrop.push_back(static_cast<double>(open.rejected));
+    }
+    server.stop();
+
+    const double sustained = qecbench::medianOf(satQps);
+    const double p50 = qecbench::medianOf(openP50);
+    const double p99 = qecbench::medianOf(openP99);
+    const double p999 = qecbench::medianOf(openP999);
+
+    qec::ReportTable table(
+        "serving " + spec + ", d = 11, p = 1e-4 (" +
+            std::to_string(workers) + " workers)",
+        {"phase", "offered/s", "achieved/s", "p50", "p99",
+         "p999", "drops"});
+    table.addRow({"closed-loop", "max",
+                  qec::formatFixed(sustained, 0),
+                  formatNs(qecbench::medianOf(satP50)), "-", "-",
+                  "0"});
+    table.addRow({"open-loop", qec::formatFixed(offered, 0),
+                  qec::formatFixed(qecbench::medianOf(openQps), 0),
+                  formatNs(p50), formatNs(p99), formatNs(p999),
+                  qec::formatFixed(qecbench::medianOf(openDrop),
+                                   0)});
+    bench.emit(table);
+
+    bench.note("serve_sustained_qps", sustained);
+    bench.note("serve_offered_qps", offered);
+    bench.note("serve_p50_ns", p50);
+    bench.note("serve_p99_ns", p99);
+    bench.note("serve_p999_ns", p999);
+    bench.note("hardware_threads",
+               static_cast<double>(
+                   std::thread::hardware_concurrency()));
+    if (std::thread::hardware_concurrency() <= 1) {
+        bench.note(
+            "scaling_note",
+            "single-CPU host: producer and workers share one "
+            "core, so tail latencies include scheduling noise");
+    }
+    return bench.finish();
+}

@@ -1,11 +1,144 @@
 #include "qec/harness/histogram.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "qec/util/assert.hpp"
 
 namespace qec
 {
+
+Histogram::Histogram(double lo, double hi, int binsPerDecade)
+    : lo_(lo), hi_(hi), binsPerDecade_(binsPerDecade)
+{
+    QEC_ASSERT(lo > 0.0 && hi > lo, "histogram range must satisfy 0 < lo < hi");
+    QEC_ASSERT(binsPerDecade >= 1, "binsPerDecade must be >= 1");
+    invLogWidth_ = static_cast<double>(binsPerDecade) / std::log(10.0);
+    const size_t geometric = static_cast<size_t>(std::ceil(
+        std::log(hi / lo) * invLogWidth_));
+    // [0] underflow, [1 .. geometric] range, [geometric+1] overflow.
+    bins.assign(geometric + 2, 0);
+}
+
+size_t
+Histogram::binOf(double value) const
+{
+    if (!(value >= lo_)) { // Also catches NaN: clamp to underflow.
+        return 0;
+    }
+    if (value >= hi_) {
+        return bins.size() - 1;
+    }
+    const size_t i = static_cast<size_t>(
+        std::log(value / lo_) * invLogWidth_);
+    return std::min(i + 1, bins.size() - 2);
+}
+
+double
+Histogram::lowerEdge(size_t i) const
+{
+    if (i == 0) {
+        return 0.0;
+    }
+    if (i == bins.size() - 1) {
+        return hi_;
+    }
+    return lo_ * std::exp(static_cast<double>(i - 1) / invLogWidth_);
+}
+
+double
+Histogram::upperEdge(size_t i) const
+{
+    if (i == 0) {
+        return lo_;
+    }
+    if (i == bins.size() - 1) {
+        // Overflow has no geometric upper edge; the observed max is
+        // the tightest honest bound (quantile() clamps anyway).
+        return std::max(hi_, maxSeen);
+    }
+    return lo_ * std::exp(static_cast<double>(i) / invLogWidth_);
+}
+
+void
+Histogram::add(double value)
+{
+    ++bins[binOf(value)];
+    if (count_ == 0) {
+        minSeen = maxSeen = value;
+    } else {
+        minSeen = std::min(minSeen, value);
+        maxSeen = std::max(maxSeen, value);
+    }
+    ++count_;
+    sum += value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    QEC_ASSERT(other.bins.size() == bins.size() &&
+                   other.lo_ == lo_ && other.hi_ == hi_,
+               "merging histograms of different shapes");
+    if (other.count_ == 0) {
+        return;
+    }
+    for (size_t i = 0; i < bins.size(); ++i) {
+        bins[i] += other.bins[i];
+    }
+    if (count_ == 0) {
+        minSeen = other.minSeen;
+        maxSeen = other.maxSeen;
+    } else {
+        minSeen = std::min(minSeen, other.minSeen);
+        maxSeen = std::max(maxSeen, other.maxSeen);
+    }
+    count_ += other.count_;
+    sum += other.sum;
+}
+
+void
+Histogram::clear()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    count_ = 0;
+    sum = 0.0;
+    minSeen = maxSeen = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(count_);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bins.size(); ++i) {
+        if (bins[i] == 0) {
+            continue;
+        }
+        const double before = static_cast<double>(cumulative);
+        cumulative += bins[i];
+        if (static_cast<double>(cumulative) >= rank) {
+            const double within =
+                (rank - before) / static_cast<double>(bins[i]);
+            const double lo = lowerEdge(i);
+            const double hi = upperEdge(i);
+            const double value = lo + within * (hi - lo);
+            return std::clamp(value, minSeen, maxSeen);
+        }
+    }
+    return maxSeen; // q == 1 with floating-point slack.
+}
 
 void
 WeightedHistogram::add(int bin, double weight)

@@ -1,6 +1,12 @@
 /**
  * @file
- * Weighted integer histograms (HW distributions of Figs. 16/17).
+ * Histograms of the evaluation harness:
+ *
+ *  - WeightedHistogram / HwConditionalStats: weighted integer bins
+ *    (HW distributions of Figs. 16/17).
+ *  - Histogram: fixed-shape geometric bins over positive reals with
+ *    quantile interpolation — the latency-tail accumulator of the
+ *    serving front end (p50/p99/p999 in bench/serve_latency.cpp).
  */
 
 #ifndef QEC_HARNESS_HISTOGRAM_HPP
@@ -14,6 +20,87 @@
 
 namespace qec
 {
+
+/**
+ * Fixed-shape histogram over positive values with geometric
+ * (log-spaced) bins, built for latency distributions.
+ *
+ * The bin layout is fixed at construction — bin i of the geometric
+ * range covers [lo * r^i, lo * r^(i+1)) with r = 10^(1/binsPerDecade)
+ * — plus an underflow bin below `lo` and an overflow bin at/above
+ * `hi`. add() therefore never allocates, which is what lets the
+ * serving workers record every decode into a per-worker Histogram
+ * on the zero-allocation steady-state path; histograms of identical
+ * shape merge with merge() at report time.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo            lower edge of the geometric range; values
+     *                      below land in the underflow bin
+     * @param hi            upper edge; values at/above land in the
+     *                      overflow bin
+     * @param binsPerDecade geometric resolution (relative bin width
+     *                      10^(1/binsPerDecade); 24 gives ~10%
+     *                      wide bins — ample for p999 reporting)
+     */
+    explicit Histogram(double lo = 1.0, double hi = 1e10,
+                       int binsPerDecade = 24);
+
+    /** Record one observation (values <= 0 clamp into underflow). */
+    void add(double value);
+
+    /** Fold another histogram of the SAME shape into this one. */
+    void merge(const Histogram &other);
+
+    /** Forget all observations; the bin layout is kept. */
+    void clear();
+
+    uint64_t count() const { return count_; }
+    /** Smallest / largest recorded value (0 when empty). */
+    double min() const { return count_ ? minSeen : 0.0; }
+    double max() const { return count_ ? maxSeen : 0.0; }
+    /** Arithmetic mean of recorded values (0 when empty). */
+    double mean() const;
+
+    /**
+     * Quantile estimate with documented interpolation semantics:
+     *
+     * Let n = count() and rank = q * n (a real number, q clamped to
+     * [0, 1]). The result is taken from the first bin whose
+     * cumulative count reaches rank, linearly interpolated between
+     * the bin's edges by the fraction of that bin's count needed to
+     * reach rank — i.e. observations are assumed uniform within a
+     * bin. A rank landing exactly on a bin boundary resolves to the
+     * upper edge of the lower bin. The result is finally clamped to
+     * [min(), max()], so quantile(0) == min(), quantile(1) == max()
+     * exactly, and a distribution confined to a single bin returns
+     * exact values whenever min() == max(). An empty histogram
+     * returns 0.
+     */
+    double quantile(double q) const;
+
+    /** Number of bins (underflow + geometric range + overflow). */
+    size_t binCount() const { return bins.size(); }
+
+  private:
+    /** Bin index for a value (0 = underflow, last = overflow). */
+    size_t binOf(double value) const;
+    /** Lower/upper edge of bin i (edge bins use observed extremes). */
+    double lowerEdge(size_t i) const;
+    double upperEdge(size_t i) const;
+
+    double lo_ = 1.0;
+    double hi_ = 1e10;
+    int binsPerDecade_ = 24;
+    double invLogWidth_ = 1.0; //!< binsPerDecade / ln(10).
+    std::vector<uint64_t> bins;
+    uint64_t count_ = 0;
+    double sum = 0.0;
+    double minSeen = 0.0;
+    double maxSeen = 0.0;
+};
 
 /** Histogram over small non-negative integer bins with weights. */
 class WeightedHistogram

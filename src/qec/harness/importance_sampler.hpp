@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "qec/dem/dem.hpp"
+#include "qec/util/eytzinger.hpp"
 #include "qec/util/rng.hpp"
 
 namespace qec
@@ -68,9 +69,10 @@ class ImportanceSampler
 
     /**
      * Draw into a reused Sample: all buffers keep their capacity,
-     * so a warm slot samples without heap allocation (the harness
-     * keeps one slot per batch index). Bit-identical with the
-     * returning overload.
+     * so a warm slot samples without heap allocation — enforced by
+     * the counting-allocator suite in tests/test_workspace.cpp (the
+     * harness keeps one slot per batch index). Bit-identical with
+     * the returning overload.
      */
     void sample(int k, Rng &rng, Sample &out) const;
 
@@ -79,8 +81,16 @@ class ImportanceSampler
     int kMax_;
     double lambda = 0.0;
     std::vector<double> po;
-    /** Prefix sums of p/(1-p) weights for O(log M) mechanism draws. */
+    /** Prefix sums of p/(1-p) weights for weighted mechanism draws. */
     std::vector<double> cumulative;
+    /**
+     * Cache-friendly mirror of `cumulative` for the per-draw
+     * upper-bound search; built once here so the hot sample() path
+     * carries no per-call temporaries (the draw itself returns the
+     * exact std::upper_bound rank, keeping samples bit-identical to
+     * the historical binary search).
+     */
+    EytzingerIndex draw_;
 };
 
 } // namespace qec

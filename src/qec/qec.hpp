@@ -54,7 +54,13 @@
 #include "qec/predecode/promatch.hpp"
 #include "qec/predecode/smith.hpp"
 #include "qec/predecode/syndrome_subgraph.hpp"
+#include "qec/serve/ring.hpp"
+#include "qec/serve/server.hpp"
+#include "qec/serve/stream.hpp"
+#include "qec/serve/streaming.hpp"
 #include "qec/util/arena.hpp"
+#include "qec/util/backoff.hpp"
+#include "qec/util/eytzinger.hpp"
 #include "qec/sim/error_enumerator.hpp"
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/surface/circuit_gen.hpp"

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded lock-free ingest ring of the serving front end.
+ *
+ * A Vyukov-style bounded queue over a power-of-two array of
+ * sequence-stamped cells: producers claim a cell with one CAS on
+ * the head counter, consumers with one CAS on the tail counter, and
+ * the per-cell sequence number hands the cell between them without
+ * any lock. The DecodeServer deploys it twice — many client threads
+ * producing into the worker pool (the MPSC ingest path of the serve
+ * subsystem), and workers recycling request slots back to
+ * producers — and both directions are multi-producer AND
+ * multi-consumer safe, which the stress matrix in
+ * tests/test_serve.cpp exercises under ThreadSanitizer.
+ *
+ * Backpressure contract: tryPush returns false instead of blocking
+ * when the ring is full (the caller counts the drop); tryPop
+ * returns false when it is empty. Neither ever waits, so a full
+ * ring can never stall a producer and a closed server can always
+ * drain. Capacity is fixed at construction — steady-state traffic
+ * allocates nothing.
+ */
+
+#ifndef QEC_SERVE_RING_HPP
+#define QEC_SERVE_RING_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace qec
+{
+
+/**
+ * Bounded lock-free queue. T must be default-constructible and
+ * copy-assignable; the server queues 32-bit slot indices, so
+ * element copies are trivial.
+ */
+template <typename T>
+class IngestRing
+{
+  public:
+    /** Capacity is rounded up to a power of two (minimum 2). */
+    explicit IngestRing(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity) {
+            cap <<= 1;
+        }
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (size_t i = 0; i < cap; ++i) {
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+        }
+    }
+
+    size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue one element; false when the ring is full (the
+     * element is NOT queued — count it as a dropped request).
+     * Multi-producer safe; the value written before the publishing
+     * store is visible to the consumer that pops it.
+     */
+    bool
+    tryPush(const T &value)
+    {
+        Cell *cell;
+        size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const size_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const intptr_t dif = static_cast<intptr_t>(seq) -
+                                 static_cast<intptr_t>(pos);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (dif < 0) {
+                return false; // Cell not yet consumed: full.
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = value;
+        cell->sequence.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Dequeue one element; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        Cell *cell;
+        size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const size_t seq =
+                cell->sequence.load(std::memory_order_acquire);
+            const intptr_t dif = static_cast<intptr_t>(seq) -
+                                 static_cast<intptr_t>(pos + 1);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    break;
+                }
+            } else if (dif < 0) {
+                return false; // Cell not yet produced: empty.
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        out = cell->value;
+        cell->sequence.store(pos + mask_ + 1,
+                             std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Instantaneous element count. Racy by nature — use only for
+     * monitoring or in quiescent states (tests, drain loops), never
+     * for flow-control decisions.
+     */
+    size_t
+    sizeApprox() const
+    {
+        const size_t head = head_.load(std::memory_order_relaxed);
+        const size_t tail = tail_.load(std::memory_order_relaxed);
+        return head >= tail ? head - tail : 0;
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<size_t> sequence;
+        T value;
+    };
+
+    std::unique_ptr<Cell[]> cells_;
+    size_t mask_ = 0;
+    /** Producer and consumer cursors on separate cache lines. */
+    alignas(64) std::atomic<size_t> head_{0};
+    alignas(64) std::atomic<size_t> tail_{0};
+};
+
+} // namespace qec
+
+#endif // QEC_SERVE_RING_HPP

@@ -1,0 +1,208 @@
+#include "qec/serve/server.hpp"
+
+#include <chrono>
+
+#include "qec/util/assert.hpp"
+#include "qec/util/backoff.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+struct DecodeServer::Worker
+{
+    Worker(const Decoder &prototype, int detectorsPerRound,
+           const StreamingConfig &streaming)
+        : engine(prototype.clone()),
+          streamer(*engine, detectorsPerRound, streaming)
+    {
+    }
+
+    std::unique_ptr<Decoder> engine;
+    StreamingDecoder streamer;
+    uint64_t completed = 0;
+    uint64_t aborted = 0;
+    Histogram latency;
+    Histogram service;
+};
+
+DecodeServer::DecodeServer(const Decoder &prototype,
+                           int detectorsPerRound, ServeConfig config,
+                           ResponseHandler handler)
+    : config_(config), handler_(std::move(handler)),
+      freeRing_(static_cast<size_t>(config.queueCapacity)),
+      ingestRing_(static_cast<size_t>(config.queueCapacity))
+{
+    QEC_ASSERT(config.workers >= 1,
+               "server needs at least one worker");
+    QEC_ASSERT(config.queueCapacity >= 1,
+               "server needs at least one request slot");
+
+    // One slot per ring cell: a submitter that wins a free slot is
+    // guaranteed a cell in the ingest ring, so an admitted request
+    // can never be dropped.
+    slots_.resize(freeRing_.capacity());
+    for (uint32_t i = 0;
+         i < static_cast<uint32_t>(slots_.size()); ++i) {
+        const bool pushed = freeRing_.tryPush(i);
+        QEC_ASSERT(pushed, "free ring must hold every slot");
+    }
+
+    workers_.reserve(config.workers);
+    threads_.reserve(config.workers);
+    for (int w = 0; w < config.workers; ++w) {
+        workers_.push_back(std::make_unique<Worker>(
+            prototype, detectorsPerRound, config.streaming));
+    }
+    for (int w = 0; w < config.workers; ++w) {
+        threads_.emplace_back(
+            [this, w] { workerLoop(*workers_[w]); });
+    }
+}
+
+DecodeServer::~DecodeServer() { stop(); }
+
+bool
+DecodeServer::submit(const SyndromeStream &stream, uint64_t tag)
+{
+    uint32_t slot;
+    if (stopping_.load(std::memory_order_acquire) ||
+        !freeRing_.tryPop(slot)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    Slot &s = slots_[slot];
+    s.stream = &stream;
+    s.tag = tag;
+    s.submitNs = nowNs();
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Cannot fail: slots and cells are in one-to-one supply, and
+    // the slot we hold is not in either ring.
+    const bool pushed = ingestRing_.tryPush(slot);
+    QEC_ASSERT(pushed, "ingest ring rejected an admitted slot");
+    return true;
+}
+
+void
+DecodeServer::drain()
+{
+    SpinBackoff backoff;
+    while (completed_.load(std::memory_order_acquire) <
+           accepted_.load(std::memory_order_acquire)) {
+        backoff.pause();
+    }
+}
+
+void
+DecodeServer::stop()
+{
+    if (stopped_) {
+        return;
+    }
+    stopping_.store(true, std::memory_order_release);
+    drain();
+    for (std::thread &t : threads_) {
+        t.join();
+    }
+    threads_.clear();
+    stopped_ = true;
+}
+
+void
+DecodeServer::workerLoop(Worker &w)
+{
+    SpinBackoff backoff;
+    for (;;) {
+        uint32_t slot;
+        if (ingestRing_.tryPop(slot)) {
+            backoff.reset();
+            Slot &s = slots_[slot];
+            const SyndromeStream *stream = s.stream;
+            const uint64_t tag = s.tag;
+            const uint64_t submitNs = s.submitNs;
+
+            const uint64_t t0 = nowNs();
+            const uint64_t obs = w.streamer.run(*stream);
+            const bool aborted = w.streamer.aborted();
+            const uint64_t t1 = nowNs();
+
+            // Recycle before the handler: the slot's contents are
+            // already copied out, and a waiting submitter can reuse
+            // it while the handler runs.
+            const bool pushed = freeRing_.tryPush(slot);
+            QEC_ASSERT(pushed, "free ring rejected a retired slot");
+
+            DecodeResponse response;
+            response.tag = tag;
+            response.correctedObs = obs;
+            response.aborted = aborted;
+            response.latencyNs =
+                static_cast<double>(t1 - submitNs);
+            response.serviceNs = static_cast<double>(t1 - t0);
+
+            ++w.completed;
+            if (aborted) {
+                ++w.aborted;
+            }
+            w.latency.add(response.latencyNs);
+            w.service.add(response.serviceNs);
+            if (handler_) {
+                handler_(response);
+            }
+            // Release-publish after the handler so drain() waiters
+            // observe the handler's writes.
+            completed_.fetch_add(1, std::memory_order_release);
+        } else if (stopping_.load(std::memory_order_acquire)) {
+            // The ring was empty after the stop flag was up; any
+            // in-flight submit either lost admission (rejected) or
+            // pushed before we saw the ring empty.
+            return;
+        } else {
+            backoff.pause();
+        }
+    }
+}
+
+ServeStats
+DecodeServer::stats() const
+{
+    ServeStats out;
+    out.accepted = accepted_.load(std::memory_order_acquire);
+    out.rejected = rejected_.load(std::memory_order_acquire);
+    out.completed = completed_.load(std::memory_order_acquire);
+    for (const auto &w : workers_) {
+        out.aborted += w->aborted;
+        out.latency.merge(w->latency);
+        out.service.merge(w->service);
+    }
+    return out;
+}
+
+void
+DecodeServer::resetStats()
+{
+    accepted_.store(0, std::memory_order_relaxed);
+    rejected_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    for (auto &w : workers_) {
+        w->completed = 0;
+        w->aborted = 0;
+        w->latency.clear();
+        w->service.clear();
+    }
+}
+
+} // namespace qec

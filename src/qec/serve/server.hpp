@@ -1,0 +1,195 @@
+/**
+ * @file
+ * DecodeServer: a QPS/latency serving front end over streaming
+ * decode.
+ *
+ * Client threads submit syndrome streams; a fixed pool of worker
+ * threads decodes them through per-worker StreamingDecoders (each
+ * worker owns a clone() of the prototype decoder plus its own
+ * workspace — no shared mutable decoder state) and reports each
+ * result through a caller-supplied handler.
+ *
+ * Admission path. Requests live in a fixed pool of slots, one per
+ * ring cell. submit() pops a free slot from the recycle ring, fills
+ * it, and pushes the slot index into the ingest ring; a worker pops
+ * the index, decodes, fires the handler, and pushes the slot back.
+ * Both rings are the lock-free IngestRing, so many producers can
+ * submit concurrently against many workers, and a warm server
+ * handles steady-state traffic without any heap allocation
+ * (enforced by the counting-allocator suite in
+ * tests/test_workspace.cpp).
+ *
+ * Backpressure contract: admission never blocks. When every slot is
+ * in flight, submit() returns false, the request is counted in
+ * stats().rejected, and the caller decides what to do — retry,
+ * shed, or slow down. The server never drops a request it accepted.
+ *
+ * Shutdown protocol: drain() spin-waits (with backoff) until every
+ * accepted request has completed. stop() asks the workers to exit
+ * once the ingest ring is empty and joins them; it drains
+ * implicitly, is idempotent, and runs automatically on destruction.
+ * Both require that producers have stopped submitting first — a
+ * submit() racing stop() may be admitted after the workers checked
+ * out and then never complete. submit() after stop() has returned
+ * always returns false (counted as rejected).
+ */
+
+#ifndef QEC_SERVE_SERVER_HPP
+#define QEC_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "qec/decoders/decoder.hpp"
+#include "qec/harness/histogram.hpp"
+#include "qec/serve/ring.hpp"
+#include "qec/serve/stream.hpp"
+#include "qec/serve/streaming.hpp"
+
+namespace qec
+{
+
+/** Server shape; fixed for the server's lifetime. */
+struct ServeConfig
+{
+    /** Worker threads (>= 1). */
+    int workers = 2;
+    /**
+     * In-flight request capacity (slots + ring cells); rounded up
+     * to a power of two. Bounds memory and queueing delay: when
+     * all slots are busy, new submissions are rejected.
+     */
+    int queueCapacity = 256;
+    /** Sliding-window geometry of the per-worker decoders. */
+    StreamingConfig streaming;
+};
+
+/** Completion record handed to the response handler. */
+struct DecodeResponse
+{
+    /** Caller's tag from submit() (e.g. an index into results). */
+    uint64_t tag = 0;
+    /** Committed observable correction of the stream. */
+    uint64_t correctedObs = 0;
+    /** True if any underlying decode aborted. */
+    bool aborted = false;
+    /** submit() to completion, wall clock. */
+    double latencyNs = 0.0;
+    /** Decode time only (dequeue to completion). */
+    double serviceNs = 0.0;
+};
+
+/**
+ * Called by worker threads, possibly concurrently, once per
+ * completed request. Must be thread-safe and should not allocate
+ * (it runs on the serving hot path).
+ */
+using ResponseHandler = std::function<void(const DecodeResponse &)>;
+
+/** Aggregated serving counters and latency distributions. */
+struct ServeStats
+{
+    uint64_t accepted = 0;
+    uint64_t rejected = 0; //!< Backpressure drops (ring full).
+    uint64_t completed = 0;
+    uint64_t aborted = 0;  //!< Completed but with a decoder abort.
+    /** submit()-to-completion latency (ns). */
+    Histogram latency;
+    /** Decode service time (ns), queueing excluded. */
+    Histogram service;
+};
+
+/** Worker-pool decode service over one prototype decoder. */
+class DecodeServer
+{
+  public:
+    /**
+     * Starts the worker pool immediately.
+     *
+     * @param prototype         decoder to clone per worker (not
+     *                          used for decoding itself; must
+     *                          outlive the server)
+     * @param detectorsPerRound SyndromeStream layer width
+     * @param config            pool shape and window geometry
+     * @param handler           completion callback (may be empty)
+     */
+    DecodeServer(const Decoder &prototype, int detectorsPerRound,
+                 ServeConfig config, ResponseHandler handler = {});
+
+    /** Stops and joins the workers (drains accepted work first). */
+    ~DecodeServer();
+
+    DecodeServer(const DecodeServer &) = delete;
+    DecodeServer &operator=(const DecodeServer &) = delete;
+
+    /**
+     * Submit one stream for decoding. Returns false — counting a
+     * rejection — when all slots are in flight or the server is
+     * stopped; the stream is then untouched. The caller must keep
+     * `stream` alive until the response fires. Thread-safe (any
+     * number of producers).
+     */
+    bool submit(const SyndromeStream &stream, uint64_t tag);
+
+    /**
+     * Wait until every accepted request has completed. Call after
+     * producers have stopped submitting; returns immediately if
+     * nothing is in flight.
+     */
+    void drain();
+
+    /** Drain, then stop and join the workers. Idempotent. */
+    void stop();
+
+    /**
+     * Aggregate per-worker stats. Only meaningful in a quiescent
+     * state (after drain() or stop()): a concurrent snapshot would
+     * tear across workers.
+     */
+    ServeStats stats() const;
+
+    /** Zero all counters and histograms (quiescent state only). */
+    void resetStats();
+
+    const ServeConfig &config() const { return config_; }
+
+  private:
+    struct Slot
+    {
+        const SyndromeStream *stream = nullptr;
+        uint64_t tag = 0;
+        /** steady_clock nanos at admission. */
+        uint64_t submitNs = 0;
+    };
+
+    /** Per-worker engine and stats, cache-line separated. */
+    struct Worker;
+
+    void workerLoop(Worker &w);
+
+    ServeConfig config_;
+    ResponseHandler handler_;
+
+    std::vector<Slot> slots_;
+    /** Recycled slot indices (workers produce, submitters consume). */
+    IngestRing<uint32_t> freeRing_;
+    /** Admitted slot indices (submitters produce, workers consume). */
+    IngestRing<uint32_t> ingestRing_;
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::atomic<uint64_t> accepted_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<bool> stopping_{false};
+    bool stopped_ = false;
+};
+
+} // namespace qec
+
+#endif // QEC_SERVE_SERVER_HPP

@@ -1,0 +1,67 @@
+#include "qec/serve/stream.hpp"
+
+#include "qec/sim/frame_simulator.hpp"
+#include "qec/util/assert.hpp"
+#include "qec/util/rng.hpp"
+
+namespace qec
+{
+
+std::vector<SyndromeStream>
+sampleStreams(const ExperimentContext &context, uint64_t seed,
+              int count)
+{
+    QEC_ASSERT(count >= 0, "stream count must be non-negative");
+    const MemoryExperiment &experiment = context.experiment();
+    const int numDetectors =
+        static_cast<int>(experiment.circuit.numDetectors());
+    const int rounds = experiment.rounds;
+    const int layers = rounds + 1;
+    QEC_ASSERT(numDetectors % layers == 0,
+               "detector count must split evenly across layers");
+    const int detPerRound = numDetectors / layers;
+
+    std::vector<SyndromeStream> streams;
+    streams.reserve(count);
+
+    FrameSimulator sim(experiment.circuit);
+    BatchResult batch;
+    for (int i = 0; i < count; ++i) {
+        const int lane = i % 64;
+        if (lane == 0) {
+            // Same block convention as the direct Monte-Carlo
+            // estimator: block b draws from stream (seed, 0, b).
+            Rng rng = Rng::forSample(seed, 0,
+                                     static_cast<uint64_t>(i) / 64);
+            sim.sampleBatch(rng, batch);
+        }
+
+        SyndromeStream s;
+        s.rounds = rounds;
+        s.detectorsPerRound = detPerRound;
+        s.observedObs = batch.observableMask(lane);
+        s.layerOffsets.reserve(layers + 1);
+        for (int d = 0; d < numDetectors; ++d) {
+            if ((batch.detectors[d] >> lane) & 1) {
+                s.defects.push_back(static_cast<uint32_t>(d));
+            }
+        }
+        // Detectors are declared round-major, so the ascending defect
+        // list is already grouped by layer; emit the CSR offsets.
+        s.layerOffsets.push_back(0);
+        size_t cursor = 0;
+        for (int l = 0; l < layers; ++l) {
+            const uint32_t end =
+                static_cast<uint32_t>((l + 1) * detPerRound);
+            while (cursor < s.defects.size() &&
+                   s.defects[cursor] < end) {
+                ++cursor;
+            }
+            s.layerOffsets.push_back(static_cast<uint32_t>(cursor));
+        }
+        streams.push_back(std::move(s));
+    }
+    return streams;
+}
+
+} // namespace qec

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Continuous multi-round syndrome streams for the serve subsystem.
+ *
+ * The batch harness evaluates one syndrome at a time; a real-time
+ * decoder instead consumes detection events round by round as the
+ * syndrome-extraction cycle runs. A SyndromeStream is one shot's
+ * full detector record of a long memory experiment, organized as a
+ * CSR over measurement layers so a consumer (StreamingDecoder, the
+ * serve bench, tests) can replay it layer by layer exactly the way
+ * hardware would deliver it.
+ *
+ * Streams are generated from the FrameSimulator on the
+ * counter-based Rng::forSample streams, so stream i of a seed is a
+ * pure function of (seed, i) — independent of batching and thread
+ * count, same contract as the LER harness.
+ */
+
+#ifndef QEC_SERVE_STREAM_HPP
+#define QEC_SERVE_STREAM_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qec/harness/context.hpp"
+
+namespace qec
+{
+
+/**
+ * One shot's full multi-round syndrome stream.
+ *
+ * Detector ids are the absolute ids of the experiment's decoding
+ * graph, declared round-major by the circuit generator: layer L
+ * (L in [0, rounds]) owns ids [L * detectorsPerRound,
+ * (L+1) * detectorsPerRound). Layer `rounds` is the final
+ * transversal data-measurement layer — one more layer than
+ * measurement rounds.
+ */
+struct SyndromeStream
+{
+    /** Syndrome-extraction rounds; the stream has rounds+1 layers. */
+    int rounds = 0;
+    /** Detectors declared per layer. */
+    int detectorsPerRound = 0;
+    /** All flipped detectors of the shot, ascending. */
+    std::vector<uint32_t> defects;
+    /** CSR offsets into `defects`, one per layer (size layers()+1). */
+    std::vector<uint32_t> layerOffsets;
+    /** The simulator's true observable flips (bit o = obs o). */
+    uint64_t observedObs = 0;
+
+    int layers() const { return rounds + 1; }
+
+    /** Defects of one layer (ascending absolute ids). */
+    std::span<const uint32_t>
+    layer(int l) const
+    {
+        return {defects.data() + layerOffsets[l],
+                defects.data() + layerOffsets[l + 1]};
+    }
+};
+
+/**
+ * Monte-Carlo sample `count` streams of the context's experiment.
+ *
+ * Stream i draws from Rng::forSample(seed, 0, i / 64) lane i % 64
+ * (the simulator's 64-lane batching), so the set is reproducible
+ * and grows consistently: the first `count` streams of a seed are
+ * the same for any larger count.
+ */
+std::vector<SyndromeStream> sampleStreams(
+    const ExperimentContext &context, uint64_t seed, int count);
+
+} // namespace qec
+
+#endif // QEC_SERVE_STREAM_HPP

@@ -1,0 +1,157 @@
+#include "qec/serve/streaming.hpp"
+
+#include <algorithm>
+
+#include "qec/decoders/workspace.hpp"
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+StreamingDecoder::StreamingDecoder(Decoder &decoder,
+                                   int detectorsPerRound,
+                                   StreamingConfig config)
+    : decoder_(decoder), workspace_(decoder.internalWorkspace()),
+      detectorsPerRound_(detectorsPerRound), config_(config)
+{
+    QEC_ASSERT(detectorsPerRound >= 1,
+               "detectorsPerRound must be positive");
+    QEC_ASSERT(config.commitRounds >= 1,
+               "commitRounds must be positive");
+    QEC_ASSERT(config.guardRounds >= 1,
+               "guardRounds must be positive");
+    QEC_ASSERT(
+        config.windowRounds >=
+            config.commitRounds + config.guardRounds,
+        "windowRounds must cover commitRounds + guardRounds: a "
+        "committed cluster must end more than guardRounds layers "
+        "before any defect the stream has yet to deliver");
+    QEC_ASSERT(config.forceCommitDefects >= 1,
+               "forceCommitDefects must be positive");
+}
+
+void
+StreamingDecoder::pushLayer(std::span<const uint32_t> defects)
+{
+    QEC_ASSERT(defects.empty() ||
+                   (layerOf(defects.front()) == pushedLayers_ &&
+                    layerOf(defects.back()) == pushedLayers_),
+               "pushed defects must belong to the next layer");
+    window_.insert(window_.end(), defects.begin(), defects.end());
+    stats_.defectsSeen += defects.size();
+    ++pushedLayers_;
+    while (pushedLayers_ >= winStart_ + config_.windowRounds) {
+        processWindow();
+    }
+}
+
+void
+StreamingDecoder::processWindow()
+{
+    ++stats_.windows;
+    stats_.maxWindowDefects =
+        std::max(stats_.maxWindowDefects,
+                 static_cast<uint64_t>(window_.size()));
+
+    // Everything below the commit boundary is a candidate commit;
+    // the suffix from the boundary on is carried by definition.
+    const uint32_t boundary = static_cast<uint32_t>(
+        (winStart_ + config_.commitRounds) *
+        static_cast<int64_t>(detectorsPerRound_));
+    const size_t boundarySplit = static_cast<size_t>(
+        std::lower_bound(window_.begin(), window_.end(), boundary) -
+        window_.begin());
+
+    // Chain the carried set backward: a committed cluster must be
+    // separated from every carried defect by more than guardRounds
+    // layers, so keep pulling the split down while the gap closes.
+    size_t split = boundarySplit;
+    while (split > 0 && split < window_.size() &&
+           layerOf(window_[split - 1]) + config_.guardRounds >=
+               layerOf(window_[split])) {
+        --split;
+    }
+
+    if (split == 0 && window_.size() >=
+                          static_cast<size_t>(
+                              config_.forceCommitDefects)) {
+        // One cluster has swallowed the whole window and keeps
+        // growing; cut it at the boundary to bound latency.
+        split = boundarySplit;
+        ++stats_.forcedCommits;
+    }
+
+    if (split > 0) {
+        // commit = decode(window) XOR decode(carried): the carried
+        // cluster's contribution cancels out and is re-decoded by
+        // whichever window finally closes it.
+        const DecodeResult all =
+            decoder_.decode(window_, workspace_);
+        ++stats_.decodes;
+        aborted_ = aborted_ || all.aborted;
+        uint64_t carriedObs = 0;
+        if (split < window_.size()) {
+            const DecodeResult carried = decoder_.decode(
+                std::span<const uint32_t>(window_.data() + split,
+                                          window_.size() - split),
+                workspace_);
+            ++stats_.decodes;
+            aborted_ = aborted_ || carried.aborted;
+            carriedObs = carried.predictedObs;
+        }
+        committedObs_ ^= all.predictedObs ^ carriedObs;
+        stats_.defectsCarried += window_.size() - split;
+        window_.erase(window_.begin(),
+                      window_.begin() +
+                          static_cast<ptrdiff_t>(split));
+    }
+    // split == 0: the whole window is one open carried cluster —
+    // commit nothing (decode(window) XOR decode(window) == 0) and
+    // let the slide bring in the defects that close it.
+
+    winStart_ += config_.commitRounds;
+}
+
+void
+StreamingDecoder::finish()
+{
+    // pushLayer already processed every complete window; whatever
+    // is buffered now is the stream's tail — commit it whole.
+    if (!window_.empty()) {
+        stats_.maxWindowDefects =
+            std::max(stats_.maxWindowDefects,
+                     static_cast<uint64_t>(window_.size()));
+        const DecodeResult tail =
+            decoder_.decode(window_, workspace_);
+        ++stats_.decodes;
+        aborted_ = aborted_ || tail.aborted;
+        committedObs_ ^= tail.predictedObs;
+        window_.clear();
+    }
+}
+
+void
+StreamingDecoder::reset()
+{
+    window_.clear(); // Keeps capacity: warm instances stay heap-free.
+    pushedLayers_ = 0;
+    winStart_ = 0;
+    committedObs_ = 0;
+    aborted_ = false;
+    stats_ = {};
+}
+
+uint64_t
+StreamingDecoder::run(const SyndromeStream &stream)
+{
+    QEC_ASSERT(stream.detectorsPerRound == detectorsPerRound_,
+               "stream and decoder disagree on detectors per layer");
+    reset();
+    for (int l = 0; l < stream.layers(); ++l) {
+        pushLayer(stream.layer(l));
+    }
+    finish();
+    return committedObs_;
+}
+
+} // namespace qec

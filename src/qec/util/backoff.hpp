@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Escalating idle-wait helper for lock-free polling loops.
+ *
+ * The serving front end's workers poll a lock-free ring; burning a
+ * full core while the ring is empty starves co-scheduled producers
+ * (and the 1-CPU bench container outright livelocks). SpinBackoff
+ * escalates from cheap CPU-relax pauses through yields to short
+ * sleeps, and reset() snaps back to the hot path the moment work
+ * arrives. No allocation, no synchronization — each polling thread
+ * owns its own instance.
+ */
+
+#ifndef QEC_UTIL_BACKOFF_HPP
+#define QEC_UTIL_BACKOFF_HPP
+
+#include <chrono>
+#include <thread>
+
+namespace qec
+{
+
+/** Hint the CPU that this is a spin-wait iteration. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/** Spin → yield → sleep escalation for idle polling loops. */
+class SpinBackoff
+{
+  public:
+    /** One idle iteration; call when a poll found nothing. */
+    void
+    pause()
+    {
+        if (idle_ < kSpinLimit) {
+            ++idle_;
+            cpuRelax();
+        } else if (idle_ < kYieldLimit) {
+            ++idle_;
+            std::this_thread::yield();
+        } else {
+            // Deep idle: cap the wake-up latency at ~50us instead
+            // of monopolizing a hardware thread.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50));
+        }
+    }
+
+    /** Work was found — return to the cheap-spin regime. */
+    void reset() { idle_ = 0; }
+
+  private:
+    static constexpr int kSpinLimit = 64;
+    static constexpr int kYieldLimit = 192;
+    int idle_ = 0;
+};
+
+} // namespace qec
+
+#endif // QEC_UTIL_BACKOFF_HPP

@@ -228,6 +228,97 @@ TEST(HwModel, FpgaEstimateScalesWithLanes)
     EXPECT_LT(eight.lutPercent, 3.0);
 }
 
+TEST(LatencyHistogram, EmptyQuantilesAreZero)
+{
+    Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleBucketReturnsTheValue)
+{
+    // Every sample in one bucket: interpolation is clamped to the
+    // observed [min, max], so any quantile is exactly the value.
+    Histogram hist;
+    for (int i = 0; i < 10; ++i) {
+        hist.add(5.0);
+    }
+    EXPECT_EQ(hist.count(), 10u);
+    EXPECT_DOUBLE_EQ(hist.min(), 5.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 5.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 5.0);
+    for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(hist.quantile(q), 5.0) << "q=" << q;
+    }
+}
+
+TEST(LatencyHistogram, ExactBoundaryInterpolation)
+{
+    // 50 samples at 10 and 50 at 1000. rank(q) = q*n lands exactly
+    // on the lower bin's cumulative count at q = 0.5, so the
+    // documented semantics give the *upper edge of the lower bin*
+    // (within-fraction 1.0) — one geometric bin step above 10,
+    // far below the upper population.
+    Histogram hist;
+    for (int i = 0; i < 50; ++i) {
+        hist.add(10.0);
+    }
+    for (int i = 0; i < 50; ++i) {
+        hist.add(1000.0);
+    }
+    const double atBoundary = hist.quantile(0.5);
+    EXPECT_GE(atBoundary, 10.0);
+    EXPECT_LT(atBoundary, 12.0); // One 24-per-decade step ≈ 1.1x.
+    // Just past the boundary the quantile jumps to the upper bin.
+    EXPECT_GT(hist.quantile(0.51), 500.0);
+    // Extremes clamp to the observed range exactly.
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 1000.0);
+    // Quantiles are monotone in q.
+    double prev = 0.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const double v = hist.quantile(q);
+        EXPECT_GE(v, prev) << "q=" << q;
+        prev = v;
+    }
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowClampToObserved)
+{
+    Histogram hist(1.0, 1e10);
+    hist.add(0.25); // Below lo: underflow bin.
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.25);
+    hist.add(5e12); // Above hi: overflow bin.
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 5e12);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.25);
+    EXPECT_DOUBLE_EQ(hist.max(), 5e12);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream)
+{
+    Histogram a, b, combined;
+    for (int i = 1; i <= 200; ++i) {
+        const double v = 10.0 * i;
+        (i % 2 ? a : b).add(v);
+        combined.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+    for (double q : {0.1, 0.5, 0.9, 0.99}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q))
+            << "q=" << q;
+    }
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
 TEST(Context, CacheReturnsSameInstance)
 {
     const auto &a = ExperimentContext::get(3, 1e-3);

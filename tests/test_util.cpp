@@ -1,14 +1,17 @@
 /**
  * @file
- * Unit tests for qec::util (rng, bitvec, stats).
+ * Unit tests for qec::util (rng, bitvec, stats, eytzinger).
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "qec/util/bitvec.hpp"
+#include "qec/util/eytzinger.hpp"
 #include "qec/util/rng.hpp"
 #include "qec/util/stats.hpp"
 
@@ -183,6 +186,48 @@ TEST(RateStats, RateAndWilson)
     EXPECT_DOUBLE_EQ(rate.rate(), 0.1);
     EXPECT_GT(rate.wilsonHalfWidth(), 0.0);
     EXPECT_LT(rate.wilsonHalfWidth(), 0.1);
+}
+
+TEST(Eytzinger, UpperBoundMatchesStdUpperBound)
+{
+    // The index must return the exact std::upper_bound rank for
+    // every query — below, above, between, and exactly on elements
+    // (duplicates included) — across array sizes around powers of
+    // two. The importance sampler's bit-identity rests on this.
+    Rng rng(0xe7ce);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                     size_t{7}, size_t{8}, size_t{9}, size_t{100},
+                     size_t{1000}}) {
+        std::vector<double> sorted;
+        sorted.reserve(n);
+        double acc = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            // Occasional zero-width steps create duplicate values.
+            acc += (rng.nextBelow(4) == 0) ? 0.0
+                                           : rng.nextDouble() + 0.1;
+            sorted.push_back(acc);
+        }
+        EytzingerIndex index(sorted);
+        ASSERT_EQ(index.size(), n);
+
+        auto check = [&](double q) {
+            const size_t expected = static_cast<size_t>(
+                std::upper_bound(sorted.begin(), sorted.end(), q) -
+                sorted.begin());
+            ASSERT_EQ(index.upperBound(q), expected)
+                << "n=" << n << " q=" << q;
+        };
+        check(-1.0);
+        check(acc + 1.0);
+        for (size_t i = 0; i < n; ++i) {
+            check(sorted[i]); // Exactly on an element (tie rule).
+            check(sorted[i] - 1e-9);
+            check(sorted[i] + 1e-9);
+        }
+        for (int t = 0; t < 200; ++t) {
+            check(rng.nextDouble() * (acc + 1.0));
+        }
+    }
 }
 
 } // namespace

@@ -34,6 +34,8 @@
 #include "qec/harness/context.hpp"
 #include "qec/harness/importance_sampler.hpp"
 #include "qec/harness/ler_estimator.hpp"
+#include "qec/serve/server.hpp"
+#include "qec/serve/stream.hpp"
 #include "qec/util/arena.hpp"
 #include "qec/util/rng.hpp"
 
@@ -261,6 +263,81 @@ TEST(Workspace, ExplicitAndInternalWorkspacesAreBitIdentical)
             }
         }
     }
+}
+
+TEST(WorkspaceZeroAlloc, SamplerInPlaceSteadyState)
+{
+    // The in-place sample() overload must draw without touching the
+    // heap once its Sample's buffers are warm — the sample stage is
+    // 42% of the pinball stack's serial time, so a per-draw
+    // allocation there is a measurable regression.
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    ImportanceSampler sampler(ctx.dem(), 16);
+    ImportanceSampler::Sample slot;
+
+    auto drawAll = [&] {
+        uint64_t sink = 0;
+        // Fresh Rng per pass: the measured pass replays exactly the
+        // warmup draws, so no buffer can outgrow its warm capacity.
+        Rng rng = Rng::forSample(0xa110c, 1, 0);
+        for (int k = 1; k <= 16; ++k) {
+            for (int i = 0; i < 20; ++i) {
+                sampler.sample(k, rng, slot);
+                sink ^= slot.obsMask ^ slot.defects.size();
+            }
+        }
+        return sink;
+    };
+
+    const uint64_t warm = drawAll();
+    const uint64_t before = g_allocations.load();
+    const uint64_t measured = drawAll();
+    const uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u)
+        << "in-place sampling allocated in steady state";
+    EXPECT_EQ(warm, measured); // Identical replay, same draws.
+}
+
+TEST(WorkspaceZeroAlloc, DecodeServerSteadyState)
+{
+    // A warm DecodeServer must serve steady-state traffic with zero
+    // heap allocations end to end: admission (slot + ring), the
+    // per-worker streaming decode, latency recording, and the
+    // response handler. One worker so both passes warm the same
+    // engine regardless of scheduling.
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    const int detPerRound = static_cast<int>(
+        ctx.experiment().circuit.numDetectors() /
+        static_cast<size_t>(ctx.rounds() + 1));
+    const auto streams = sampleStreams(ctx, 0x2e20, 64);
+    auto proto = build(DecoderSpec::parse("mwpm"), ctx.graph(),
+                       ctx.paths());
+
+    std::vector<uint64_t> results(streams.size(), 0);
+    ServeConfig config;
+    config.workers = 1;
+    config.queueCapacity = 64;
+    DecodeServer server(*proto, detPerRound, config,
+                        [&](const DecodeResponse &r) {
+                            results[r.tag] = r.correctedObs;
+                        });
+
+    auto pass = [&] {
+        for (size_t i = 0; i < streams.size(); ++i) {
+            while (!server.submit(streams[i], i)) {
+            }
+        }
+        server.drain();
+    };
+
+    pass(); // Warmup: every scratch structure reaches capacity.
+    const uint64_t before = g_allocations.load();
+    pass();
+    const uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u)
+        << "serving path allocated in steady state";
+    server.stop();
+    EXPECT_EQ(server.stats().completed, 2 * streams.size());
 }
 
 TEST(Workspace, LerEstimateUnchangedByThreadCount)
