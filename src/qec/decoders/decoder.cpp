@@ -1,6 +1,8 @@
 #include "qec/decoders/decoder.hpp"
 
 #include "qec/decoders/workspace.hpp"
+#include "qec/util/assert.hpp"
+#include "qec/util/bitvec.hpp"
 #include "qec/util/parallel_for.hpp"
 
 namespace qec
@@ -30,6 +32,37 @@ Decoder::decode(std::span<const uint32_t> defects,
                 DecodeTrace *trace)
 {
     return decode(defects, internalWorkspace(), trace);
+}
+
+void
+scatterBlockLanes(std::span<const uint64_t> detectorWords,
+                  uint64_t laneMask,
+                  std::array<std::vector<uint32_t>, 64> &lanes)
+{
+    forEachSetBit(laneMask, [&](int lane) { lanes[lane].clear(); });
+    // One countr_zero walk over the detector-major words: work
+    // proportional to the number of defects, not 64 x #detectors.
+    // Buckets stay detector-ascending because det ascends here.
+    for (size_t det = 0; det < detectorWords.size(); ++det) {
+        forEachSetBit(detectorWords[det] & laneMask, [&](int lane) {
+            lanes[lane].push_back(static_cast<uint32_t>(det));
+        });
+    }
+}
+
+void
+Decoder::decodeBlock(std::span<const uint64_t> detectorWords,
+                     int lanes, DecodeWorkspace &workspace,
+                     DecodeResult *results)
+{
+    QEC_ASSERT(lanes >= 1 && lanes <= 64,
+               "decodeBlock lane count must be in [1, 64]");
+    scatterBlockLanes(detectorWords, laneMask64(lanes),
+                      workspace.block.laneDefects);
+    for (int lane = 0; lane < lanes; ++lane) {
+        results[lane] = decode(workspace.block.laneDefects[lane],
+                               workspace, nullptr);
+    }
 }
 
 WorkerDecoders::WorkerDecoders(Decoder &source, int workers)

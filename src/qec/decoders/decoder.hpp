@@ -34,6 +34,7 @@
 #ifndef QEC_DECODERS_DECODER_HPP
 #define QEC_DECODERS_DECODER_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -188,6 +189,29 @@ class Decoder
     virtual std::unique_ptr<Decoder> clone() const = 0;
 
     /**
+     * Decode all `lanes` shots of a 64-lane syndrome block (one
+     * word per detector, shot l = bit l — the FrameSimulator's
+     * BatchResult layout) on the calling thread.
+     *
+     * Results land at results[0 .. lanes), and every lane's result
+     * is bit-identical to a serial decode() of that lane's defect
+     * list (fuzz-enforced registry-wide by
+     * tests/test_block_decode.cpp). The default implementation
+     * extracts the lanes and decodes them one at a time; pipeline
+     * stacks override it to carry all lanes through predecode
+     * together (see PredecodedDecoder::decodeBlock).
+     *
+     * @param detectorWords one 64-lane word per detector; bits of
+     *                      lanes >= `lanes` are ignored
+     * @param lanes         shots in the block, in [1, 64]
+     * @param workspace     caller-owned scratch (as decode())
+     * @param results       caller-owned array of >= `lanes` slots
+     */
+    virtual void decodeBlock(std::span<const uint64_t> detectorWords,
+                             int lanes, DecodeWorkspace &workspace,
+                             DecodeResult *results);
+
+    /**
      * Decode a batch of syndromes, optionally across threads.
      *
      * The default implementation decodes in order on this instance
@@ -229,6 +253,17 @@ class Decoder
   private:
     std::unique_ptr<DecodeWorkspace> workspace_;
 };
+
+/**
+ * Scatter the set bits of a detector-major 64-lane block into
+ * per-lane sorted defect lists. Only the buckets of lanes in
+ * `laneMask` are cleared and filled; the rest are left untouched
+ * (the block decode path relies on that to keep low-HW lanes'
+ * buckets alive across a predecodeBlock call).
+ */
+void scatterBlockLanes(std::span<const uint64_t> detectorWords,
+                       uint64_t laneMask,
+                       std::array<std::vector<uint32_t>, 64> &lanes);
 
 /**
  * Per-worker decoder engines (plus scratch workspaces) for a

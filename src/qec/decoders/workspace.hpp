@@ -36,6 +36,10 @@
 #ifndef QEC_DECODERS_WORKSPACE_HPP
 #define QEC_DECODERS_WORKSPACE_HPP
 
+#include <array>
+#include <cstdint>
+#include <vector>
+
 #include "qec/graph/distance_view.hpp"
 #include "qec/matching/blossom.hpp"
 #include "qec/matching/defect_graph.hpp"
@@ -47,6 +51,29 @@
 
 namespace qec
 {
+
+/**
+ * Scratch of the 64-lane block decode path (Decoder::decodeBlock /
+ * Predecoder::predecodeBlock). Used only by the block entry points
+ * — serial decode()/predecode() must never touch it, which is what
+ * lets decodeBlock hand `laneDefects[l]` spans to nested serial
+ * decodes. `laneWords` is a dense detector -> lane-word merge
+ * scratch with an all-zero invariant between uses (users re-zero
+ * exactly the entries they touched, recorded in `touched`).
+ */
+struct BlockScratch
+{
+    /** Per-lane extracted defect lists (see scatterBlockLanes). */
+    std::array<std::vector<uint32_t>, 64> laneDefects;
+    /** Dense detector -> lane-word scratch, all-zero between uses. */
+    std::vector<uint64_t> laneWords;
+    /** Detectors whose laneWords entry is currently nonzero. */
+    std::vector<uint32_t> touched;
+    /** Sorted union defect list of the current block. */
+    std::vector<uint32_t> unionDets;
+    /** Pipeline handoff: the block predecode outcome. */
+    BlockPredecodeResult pre;
+};
 
 /** Caller-owned scratch arena for one decode stack on one thread. */
 struct DecodeWorkspace
@@ -72,6 +99,8 @@ struct DecodeWorkspace
     ExhaustiveSolver exhaustive;
     /** Reusable budgeted branch-and-bound engine (Astrea-G). */
     NearExhaustiveSolver nearExhaustive;
+    /** 64-lane block decode scratch (decodeBlock only). */
+    BlockScratch block;
 };
 
 } // namespace qec

@@ -32,7 +32,19 @@ Histogram::binOf(double value) const
     }
     const size_t i = static_cast<size_t>(
         std::log(value / lo_) * invLogWidth_);
-    return std::min(i + 1, bins.size() - 2);
+    size_t b = std::min(i + 1, bins.size() - 2);
+    // The log here and the exp in lowerEdge()/upperEdge() round
+    // independently, so a value sitting on a geometric edge can
+    // land one bin off the edges later reported for it. Nudge by at
+    // most one bin so the returned bin always brackets the value —
+    // lowerEdge(b) <= value < upperEdge(b) — which quantile()'s
+    // interpolation assumes.
+    if (b > 1 && value < lowerEdge(b)) {
+        --b;
+    } else if (b < bins.size() - 2 && value >= upperEdge(b)) {
+        ++b;
+    }
+    return b;
 }
 
 double
@@ -57,6 +69,13 @@ Histogram::upperEdge(size_t i) const
         // Overflow has no geometric upper edge; the observed max is
         // the tightest honest bound (quantile() clamps anyway).
         return std::max(hi_, maxSeen);
+    }
+    if (i == bins.size() - 2) {
+        // The constructor's ceil makes the last geometric bin
+        // partial: binOf() cuts it at hi_ (values at/above land in
+        // overflow), so hi_ — not the geometric edge — is its upper
+        // boundary, flush with lowerEdge(overflow).
+        return hi_;
     }
     return lo_ * std::exp(static_cast<double>(i) / invLogWidth_);
 }

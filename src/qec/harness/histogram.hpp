@@ -84,12 +84,22 @@ class Histogram
     /** Number of bins (underflow + geometric range + overflow). */
     size_t binCount() const { return bins.size(); }
 
-  private:
-    /** Bin index for a value (0 = underflow, last = overflow). */
+    /**
+     * Bin index for a value (0 = underflow, last = overflow).
+     * For any value in [lo, hi) the returned bin brackets it:
+     * lowerEdge(binOf(v)) <= v < upperEdge(binOf(v)) — the log here
+     * and the exp in the edge queries round independently, so the
+     * index is clamped against the reported edges (edge-consistency
+     * suite in tests/test_harness.cpp).
+     */
     size_t binOf(double value) const;
-    /** Lower/upper edge of bin i (edge bins use observed extremes). */
+    /** Lower/upper edge of bin i. Adjacent bins are flush:
+     *  upperEdge(i) == lowerEdge(i + 1) at every interior seam; the
+     *  overflow bin's upper edge is the observed maximum. */
     double lowerEdge(size_t i) const;
     double upperEdge(size_t i) const;
+
+  private:
 
     double lo_ = 1.0;
     double hi_ = 1e10;

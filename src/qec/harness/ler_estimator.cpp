@@ -1,6 +1,7 @@
 #include "qec/harness/ler_estimator.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/util/assert.hpp"
@@ -29,8 +30,8 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
     // the calling thread, the rest clones created serially up
     // front), each with its own DecodeWorkspace, reused across
     // every k-batch — steady-state decoding allocates nothing.
-    const WorkerDecoders engines(decoder,
-                                 parallelWorkers(n, threads));
+    const int workers = parallelWorkers(n, threads);
+    const WorkerDecoders engines(decoder, workers);
 
     LerEstimate estimate;
     estimate.expectedFaults = sampler.expectedFaults();
@@ -45,6 +46,21 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
     const bool hasFilter =
         static_cast<bool>(options.decodeFilter);
     std::vector<char> skipped(hasFilter ? n : 0, 0);
+
+    // Block decoding carries up to 64 consecutive samples through
+    // decodeBlock together (bit-identical per lane with the serial
+    // path, so the estimate is unchanged). Traces and filters need
+    // the per-sample path. Each worker owns a detector-major pack
+    // buffer, re-zeroed after every block via the same defect lists
+    // that set it — NOT workspace scratch, which decodeBlock
+    // clobbers while the words span is live.
+    const bool useBlocks = !hasFilter && !wantTraces;
+    std::vector<std::vector<uint64_t>> packs;
+    if (useBlocks) {
+        packs.assign(static_cast<size_t>(workers),
+                     std::vector<uint64_t>(
+                         context.graph().numDetectors(), 0));
+    }
 
     for (int k = 1; k <= options.kMax; ++k) {
         KStats stats;
@@ -68,6 +84,34 @@ estimateLer(const ExperimentContext &context, Decoder &decoder,
                 Decoder *engine = engines.engine(worker);
                 DecodeWorkspace &workspace =
                     engines.workspace(worker);
+                if (useBlocks) {
+                    std::vector<uint64_t> &pack =
+                        packs[static_cast<size_t>(worker)];
+                    for (size_t i = begin; i < end;) {
+                        const int lanes = static_cast<int>(
+                            std::min<size_t>(64, end - i));
+                        for (int l = 0; l < lanes; ++l) {
+                            Rng rng = Rng::forSample(
+                                options.seed,
+                                static_cast<uint64_t>(k), i + l);
+                            sampler.sample(k, rng, samples[i + l]);
+                            for (uint32_t det :
+                                 samples[i + l].defects) {
+                                pack[det] |= uint64_t{1} << l;
+                            }
+                        }
+                        engine->decodeBlock(pack, lanes, workspace,
+                                            &results[i]);
+                        for (int l = 0; l < lanes; ++l) {
+                            for (uint32_t det :
+                                 samples[i + l].defects) {
+                                pack[det] = 0;
+                            }
+                        }
+                        i += static_cast<size_t>(lanes);
+                    }
+                    return;
+                }
                 for (size_t i = begin; i < end; ++i) {
                     Rng rng = Rng::forSample(
                         options.seed, static_cast<uint64_t>(k), i);
@@ -141,11 +185,6 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
         FrameSimulator(context.experiment().circuit));
     std::vector<BatchResult> batches(
         static_cast<size_t>(workers));
-    // Per-worker lane buckets: one defect list per bit lane,
-    // capacities reused across every block the worker decodes.
-    std::vector<std::vector<std::vector<uint32_t>>> lane_buckets(
-        static_cast<size_t>(workers),
-        std::vector<std::vector<uint32_t>>(64));
     parallelFor(
         static_cast<size_t>(blocks), threads,
         [&](size_t begin, size_t end, int worker) {
@@ -156,39 +195,24 @@ estimateLerDirect(const ExperimentContext &context, Decoder &decoder,
                 engines.workspace(worker);
             BatchResult &batch =
                 batches[static_cast<size_t>(worker)];
-            std::vector<std::vector<uint32_t>> &lanes_of =
-                lane_buckets[static_cast<size_t>(worker)];
             uint64_t local = 0;
+            std::array<DecodeResult, 64> decoded;
             for (size_t b = begin; b < end; ++b) {
                 Rng rng = Rng::forSample(seed, 0, b);
                 simulator.sampleBatch(rng, batch);
                 const int lanes = static_cast<int>(
                     std::min<uint64_t>(64, shots - b * 64));
-                // Bit-parallel defect extraction: one countr_zero
-                // word walk over the detector-major batch words,
-                // scattering each set bit into its lane's bucket —
-                // work proportional to the number of defects, not
-                // 64 x #detectors. Buckets stay detector-ascending
-                // because det ascends in the outer loop.
-                for (int lane = 0; lane < 64; ++lane) {
-                    lanes_of[lane].clear();
-                }
-                for (size_t det = 0;
-                     det < batch.detectors.size(); ++det) {
-                    forEachSetBit(
-                        batch.detectors[det], [&](int lane) {
-                            lanes_of[lane].push_back(
-                                static_cast<uint32_t>(det));
-                        });
-                }
+                // The simulator's detector-major words are already
+                // the decodeBlock layout, so the whole 64-lane block
+                // goes down in one call (stray tail-lane bits are
+                // masked off by the lane count).
+                engine->decodeBlock(batch.detectors, lanes,
+                                    workspace, decoded.data());
                 for (int lane = 0; lane < lanes; ++lane) {
-                    const uint64_t actual =
-                        batch.observableMask(lane);
-                    const DecodeResult decoded = engine->decode(
-                        lanes_of[lane], workspace);
                     const bool fail =
-                        decoded.aborted ||
-                        decoded.predictedObs != actual;
+                        decoded[lane].aborted ||
+                        decoded[lane].predictedObs !=
+                            batch.observableMask(lane);
                     local += fail ? 1 : 0;
                 }
             }

@@ -42,6 +42,7 @@ class ExhaustiveSolver
 
   private:
     void recurse(const MatchingProblem &problem, double weight);
+    void seedGreedyBound(const MatchingProblem &problem);
 
     std::vector<int> mate_, bestMate_;
     double best_ = kNoEdge;

@@ -22,6 +22,7 @@
 #ifndef QEC_PREDECODE_PREDECODER_HPP
 #define QEC_PREDECODE_PREDECODER_HPP
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -70,6 +71,61 @@ struct PredecodeResult
     }
 };
 
+/**
+ * Outcome of predecoding a 64-lane syndrome block.
+ *
+ * Lane layout matches the FrameSimulator's BatchResult: shot l of
+ * the block is bit l of every word. Residual defects come back as a
+ * sorted sparse column list — residualDets[r] is a detector index
+ * and residualWords[r] the word of lanes in which that detector is
+ * still flipped after predecoding. Per-lane scalar outcomes
+ * (obsMask/weight/cycles/rounds) land at index l; decodedAllMask /
+ * forwardedMask carry the per-lane NSM flags. Only lanes present in
+ * `laneMask` (the request) hold meaningful entries.
+ *
+ * Bit-identity contract: for every requested lane, the per-lane
+ * fields must equal what the serial `predecode()` of that lane's
+ * defect list would produce — including the floating-point
+ * accumulation order of `weight` (enforced registry-wide by
+ * tests/test_block_decode.cpp).
+ */
+struct BlockPredecodeResult
+{
+    /** Sorted detectors with a residual defect in any lane. */
+    std::vector<uint32_t> residualDets;
+    /** Lanes still holding residualDets[r] (parallel array). */
+    std::vector<uint64_t> residualWords;
+    /** Per-lane observable flips of the prematched corrections. */
+    std::array<uint64_t, 64> obsMask;
+    /** Per-lane total prematched weight. */
+    std::array<double, 64> weight;
+    /** Per-lane modeled pipeline cycles. */
+    std::array<long long, 64> cycles;
+    /** Per-lane predecode rounds executed. */
+    std::array<int, 64> rounds;
+    /** Lanes this result covers (the request's laneMask). */
+    uint64_t laneMask = 0;
+    /** Lanes fully decoded locally (NSM; residual empty). */
+    uint64_t decodedAllMask = 0;
+    /** Lanes forwarded unmodified (NSM; residual = full input). */
+    uint64_t forwardedMask = 0;
+
+    /** Clear for reuse, keeping the sparse lists' capacity. */
+    void
+    reset()
+    {
+        residualDets.clear();
+        residualWords.clear();
+        obsMask.fill(0);
+        weight.fill(0.0);
+        cycles.fill(0);
+        rounds.fill(0);
+        laneMask = 0;
+        decodedAllMask = 0;
+        forwardedMask = 0;
+    }
+};
+
 /** Abstract predecoder over a fixed decoding graph. */
 class Predecoder
 {
@@ -106,6 +162,36 @@ class Predecoder
      */
     PredecodeResult predecode(std::span<const uint32_t> defects,
                               long long cycle_budget);
+
+    /**
+     * Predecode all requested lanes of a 64-lane syndrome block at
+     * once (one word per detector, shot l = bit l — the
+     * FrameSimulator's BatchResult layout).
+     *
+     * Every requested lane's outcome must be bit-identical to the
+     * serial `predecode()` of that lane's defect list. The base
+     * implementation guarantees this by looping the lanes through
+     * the serial path; pattern-table predecoders (Pinball, Smith,
+     * Clique) override it with bit-parallel word kernels that carry
+     * all 64 lanes through the pattern logic together.
+     *
+     * Scratch contract: the call may clobber
+     * `workspace.predecodeResult` and the `workspace.block` entries
+     * of lanes in `laneMask` (the pipeline rebuilds those from the
+     * residual lists anyway); buckets of lanes outside the mask are
+     * left untouched.
+     *
+     * @param detectorWords one 64-lane word per detector
+     * @param laneMask      lanes to predecode (bit l = lane l);
+     *                      zero is a no-op
+     * @param cycle_budget  as in predecode()
+     * @param workspace     caller-owned scratch
+     * @param result        reset and filled in place
+     */
+    virtual void predecodeBlock(
+        std::span<const uint64_t> detectorWords, uint64_t laneMask,
+        long long cycle_budget, DecodeWorkspace &workspace,
+        BlockPredecodeResult &result);
 
     /** Independent copy with identical configuration. */
     virtual std::unique_ptr<Predecoder> clone() const = 0;

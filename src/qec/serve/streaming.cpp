@@ -33,10 +33,17 @@ StreamingDecoder::StreamingDecoder(Decoder &decoder,
 void
 StreamingDecoder::pushLayer(std::span<const uint32_t> defects)
 {
-    QEC_ASSERT(defects.empty() ||
-                   (layerOf(defects.front()) == pushedLayers_ &&
-                    layerOf(defects.back()) == pushedLayers_),
-               "pushed defects must belong to the next layer");
+    // Validate the full span, not just its endpoints: a mid-span
+    // defect from the wrong layer (or an unsorted pair) would
+    // silently corrupt the window's ascending-id invariant that
+    // every split computation below relies on.
+    for (size_t i = 0; i < defects.size(); ++i) {
+        QEC_ASSERT(layerOf(defects[i]) == pushedLayers_,
+                   "pushed defects must all belong to the next "
+                   "layer");
+        QEC_ASSERT(i == 0 || defects[i] > defects[i - 1],
+                   "pushed defects must be strictly ascending");
+    }
     window_.insert(window_.end(), defects.begin(), defects.end());
     stats_.defectsSeen += defects.size();
     ++pushedLayers_;
@@ -76,9 +83,22 @@ StreamingDecoder::processWindow()
                           static_cast<size_t>(
                               config_.forceCommitDefects)) {
         // One cluster has swallowed the whole window and keeps
-        // growing; cut it at the boundary to bound latency.
-        split = boundarySplit;
-        ++stats_.forcedCommits;
+        // growing; cut it to bound latency. The boundary prefix is
+        // the natural cut, but when the cluster sits entirely past
+        // the boundary (boundarySplit == 0) that cut would commit
+        // nothing and the buffer would grow forever — so always
+        // drain at least the oldest buffered layer. When
+        // boundarySplit > 0 the layer cut is a subset of it and the
+        // cut is unchanged.
+        const uint32_t first_layer_end = static_cast<uint32_t>(
+            (layerOf(window_.front()) + 1) *
+            static_cast<int64_t>(detectorsPerRound_));
+        const size_t layerSplit = static_cast<size_t>(
+            std::lower_bound(window_.begin(), window_.end(),
+                             first_layer_end) -
+            window_.begin());
+        split = std::max(boundarySplit, layerSplit);
+        ++stats_.forcedCommits; // split >= 1: this always commits
     }
 
     if (split > 0) {

@@ -35,6 +35,15 @@ forEachSetBit(uint64_t word, Fn &&fn)
     }
 }
 
+/** Mask of the low `lanes` bits — the active-lane word of a batch
+ *  block holding `lanes` (in [1, 64]) shots. */
+inline uint64_t
+laneMask64(int lanes)
+{
+    return lanes >= 64 ? ~uint64_t{0}
+                       : (uint64_t{1} << lanes) - 1;
+}
+
 /** Fixed-length bit vector backed by 64-bit words. */
 class BitVec
 {

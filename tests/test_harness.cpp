@@ -14,6 +14,7 @@
 #include "qec/harness/importance_sampler.hpp"
 #include "qec/harness/report.hpp"
 #include "qec/hwmodel/resources.hpp"
+#include "qec/util/rng.hpp"
 
 namespace qec
 {
@@ -40,6 +41,74 @@ TEST(Histogram, EmptyIsSane)
     EXPECT_EQ(hist.maxBin(), -1);
     EXPECT_DOUBLE_EQ(hist.weightAt(0), 0.0);
     EXPECT_DOUBLE_EQ(hist.probabilityAt(3, 0.0), 0.0);
+}
+
+TEST(Histogram, BinEdgesBracketEveryValue)
+{
+    // binOf computes with a log, the edge queries with an exp; the
+    // two round independently, so binOf clamps against the reported
+    // edges. Property, over several shapes (including ones whose
+    // ceil-created last geometric bin is partial):
+    //   lowerEdge(binOf(v)) <= v < upperEdge(binOf(v))
+    // for every v in [lo, hi), with all interior seams flush.
+    struct Shape
+    {
+        double lo, hi;
+        int binsPerDecade;
+    };
+    const Shape shapes[] = {{1.0, 1e10, 24},
+                            {1.0, 1e10, 7},
+                            {0.5, 2e3, 3},
+                            {3.0, 9.0, 5}};
+    Rng rng(0xed9e);
+    for (const Shape &shape : shapes) {
+        const Histogram hist(shape.lo, shape.hi,
+                             shape.binsPerDecade);
+        const size_t n = hist.binCount();
+        ASSERT_GE(n, 3u);
+
+        // Flush seams: underflow/range, every geometric seam, and
+        // the partial-last-bin/overflow seam.
+        for (size_t i = 0; i + 1 < n; ++i) {
+            EXPECT_EQ(hist.upperEdge(i), hist.lowerEdge(i + 1))
+                << "seam " << i << " lo=" << shape.lo;
+        }
+        EXPECT_EQ(hist.lowerEdge(1), shape.lo);
+        EXPECT_EQ(hist.lowerEdge(n - 1), shape.hi);
+
+        const auto expectBracketed = [&](double v) {
+            const size_t b = hist.binOf(v);
+            ASSERT_GE(b, 1u) << v;
+            ASSERT_LE(b, n - 2) << v;
+            EXPECT_LE(hist.lowerEdge(b), v) << "bin " << b;
+            EXPECT_LT(v, hist.upperEdge(b)) << "bin " << b;
+        };
+        // Deterministic probes: each bin's exact lower edge, its
+        // geometric midpoint, and a value just below its upper edge
+        // — the edge probes are where log/exp disagreement bites.
+        for (size_t i = 1; i + 1 < n; ++i) {
+            const double lower = hist.lowerEdge(i);
+            const double upper = hist.upperEdge(i);
+            expectBracketed(lower);
+            expectBracketed(std::sqrt(lower * upper));
+            expectBracketed(std::nextafter(upper, shape.lo));
+        }
+        // Log-uniform random sweep over the range.
+        const double span = std::log(shape.hi / shape.lo);
+        for (int trial = 0; trial < 2000; ++trial) {
+            const double v =
+                shape.lo *
+                std::exp(rng.nextDouble() * span);
+            if (v >= shape.lo && v < shape.hi) {
+                expectBracketed(v);
+            }
+        }
+        // Out-of-range values land in the named sentinel bins.
+        EXPECT_EQ(hist.binOf(shape.hi), n - 1);
+        EXPECT_EQ(hist.binOf(shape.hi * 10), n - 1);
+        EXPECT_EQ(hist.binOf(shape.lo / 2), 0u);
+        EXPECT_EQ(hist.binOf(-1.0), 0u);
+    }
 }
 
 TEST(HwConditional, ConditionalRates)

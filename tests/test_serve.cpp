@@ -307,6 +307,68 @@ TEST(Streaming, ResetMakesRunsIndependent)
     }
 }
 
+TEST(Streaming, ForcedCommitActuallyDrainsOpenCluster)
+{
+    // Regression: when one cluster swallows the whole window AND
+    // sits entirely past the commit boundary (boundarySplit == 0),
+    // the forced-commit path used to count a forcedCommit without
+    // committing anything — the buffer grew forever and no decode
+    // was ever issued. The fix drains at least the oldest buffered
+    // layer, so a pathological dense stream stays bounded.
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    ASSERT_GE(ctx.graph().numDetectors(), 52u);
+    auto decoder = build(DecoderSpec::parse("mwpm"), ctx.graph(),
+                         ctx.paths());
+    // Artificial 4-detector layers; W=4/C=1/G=3 with a tiny force
+    // threshold so the dense stream trips it on the first window.
+    StreamingConfig cfg;
+    cfg.windowRounds = 4;
+    cfg.commitRounds = 1;
+    cfg.guardRounds = 3;
+    cfg.forceCommitDefects = 8;
+    StreamingDecoder streamer(*decoder, 4, cfg);
+
+    // Layer 0 empty (keeps the commit-boundary prefix empty), then
+    // every layer dense: consecutive layers always chain (gap 1 <=
+    // G), so the cluster never closes on its own.
+    streamer.pushLayer({});
+    for (uint32_t l = 1; l <= 12; ++l) {
+        const uint32_t layer[] = {4 * l, 4 * l + 1, 4 * l + 2,
+                                  4 * l + 3};
+        streamer.pushLayer(layer);
+    }
+    const StreamingStats &stats = streamer.stats();
+    EXPECT_GT(stats.forcedCommits, 0u);
+    // Pre-fix: decodes == 0 (no forced window ever committed) and
+    // maxWindowDefects grows with the stream (44+ here).
+    EXPECT_GE(stats.decodes, 1u);
+    EXPECT_LE(stats.maxWindowDefects, 16u);
+}
+
+TEST(StreamingDeathTest, RejectsMidSpanDefectFromWrongLayer)
+{
+    // {0, 4, 1} with 4 detectors per layer: both endpoints are
+    // layer-0 ids, the middle one belongs to layer 1 — an
+    // endpoints-only validation would let it through and corrupt
+    // the window's ascending-id invariant.
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    auto decoder = build(DecoderSpec::parse("mwpm"), ctx.graph(),
+                         ctx.paths());
+    StreamingDecoder streamer(*decoder, 4);
+    const uint32_t bad[] = {0, 4, 1};
+    EXPECT_DEATH(streamer.pushLayer(bad), "must all belong");
+}
+
+TEST(StreamingDeathTest, RejectsUnsortedLayer)
+{
+    const auto &ctx = ExperimentContext::get(5, 1e-3);
+    auto decoder = build(DecoderSpec::parse("mwpm"), ctx.graph(),
+                         ctx.paths());
+    StreamingDecoder streamer(*decoder, 4);
+    const uint32_t bad[] = {1, 0};
+    EXPECT_DEATH(streamer.pushLayer(bad), "strictly ascending");
+}
+
 // ---------------------------------------------------------------
 // DecodeServer
 // ---------------------------------------------------------------

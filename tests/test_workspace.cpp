@@ -213,6 +213,45 @@ TEST(WorkspaceZeroAlloc, InternalWorkspaceSteadyState)
     }
 }
 
+TEST(WorkspaceZeroAlloc, DecodeBlockSteadyState)
+{
+    // The 64-lane block path must also run allocation-free once
+    // warm: scatter, predecodeBlock word kernels, the shared union
+    // gather, and the per-lane compose all draw from workspace- or
+    // arena-owned scratch.
+    const auto &ctx = ExperimentContext::get(7, 1e-3);
+    const auto batch = syndromeSet(ctx);
+    const size_t lanes = std::min<size_t>(batch.size(), 64);
+    std::vector<uint64_t> words(ctx.graph().numDetectors(), 0);
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        for (uint32_t det : batch[lane]) {
+            words[det] |= uint64_t{1} << lane;
+        }
+    }
+
+    for (const char *spec : kZeroAllocSpecs) {
+        auto decoder = build(DecoderSpec::parse(spec),
+                             ctx.graph(), ctx.paths());
+        DecodeWorkspace workspace;
+        DecodeResult results[64];
+        // Warmup. More than one pass: the arena coalesces overflow
+        // chunks on the reset *after* the cycle that overflowed, so
+        // a block path whose first call multi-chunks needs a second
+        // cycle to converge (serial decodes get 71 cycles per pass
+        // here; a block call is a single cycle).
+        for (int pass = 0; pass < 3; ++pass) {
+            decoder->decodeBlock(words, static_cast<int>(lanes),
+                                 workspace, results);
+        }
+        const uint64_t before = g_allocations.load();
+        decoder->decodeBlock(words, static_cast<int>(lanes),
+                             workspace, results);
+        const uint64_t after = g_allocations.load();
+        EXPECT_EQ(after - before, 0u)
+            << spec << " decodeBlock allocated in steady state";
+    }
+}
+
 void
 expectSameResult(const DecodeResult &a, const DecodeResult &b,
                  const std::string &label)
