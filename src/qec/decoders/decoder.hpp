@@ -236,6 +236,14 @@ class Decoder
     /** Short identifier used in reports (e.g. "Promatch||AG"). */
     virtual std::string name() const = 0;
 
+    /**
+     * True when this decoder's problem builder reads the
+     * workspace's gathered DistanceView (the dense matchers).
+     * Sparse-core decoders return false so composite stacks can
+     * skip shared gathers that nobody would consume.
+     */
+    virtual bool wantsDistanceView() const { return true; }
+
     const DecodingGraph &graph() const { return graph_; }
     const PathTable &paths() const { return paths_; }
 

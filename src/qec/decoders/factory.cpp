@@ -12,9 +12,10 @@ namespace
 {
 
 /** Historical evaluation names -> canonical spec strings. */
-constexpr std::array<std::pair<const char *, const char *>, 15>
+constexpr std::array<std::pair<const char *, const char *>, 18>
     kLegacyNames{{
         {"mwpm", "mwpm"},
+        {"sparse", "sparse"},
         {"astrea", "astrea"},
         {"astrea_g", "astrea_g"},
         {"union_find", "union_find"},
@@ -26,6 +27,8 @@ constexpr std::array<std::pair<const char *, const char *>, 15>
         {"clique_ag", "clique+astrea_g"},
         {"promatch_par_ag", "promatch+astrea||astrea_g"},
         {"smith_par_ag", "smith+astrea||astrea_g"},
+        {"promatch_sparse", "promatch+sparse"},
+        {"pinball_sparse", "pinball+sparse"},
         {"pinball_astrea", "pinball+astrea"},
         {"pinball_mwpm", "pinball+mwpm"},
         {"pinball_par_ag", "pinball+astrea||astrea_g"},

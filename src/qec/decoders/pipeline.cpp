@@ -163,7 +163,7 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
         }
     });
     const size_t u = block.touched.size();
-    if (u > 0 && u * u <= sum_sq) {
+    if (u > 0 && u * u <= sum_sq && main_->wantsDistanceView()) {
         std::sort(block.touched.begin(), block.touched.end());
         block.unionDets.assign(block.touched.begin(),
                                block.touched.end());

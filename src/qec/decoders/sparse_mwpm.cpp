@@ -1,0 +1,47 @@
+#include "qec/decoders/sparse_mwpm.hpp"
+
+#include "qec/api/registry.hpp"
+#include "qec/decoders/workspace.hpp"
+
+namespace qec
+{
+
+DecodeResult
+SparseMwpmDecoder::decode(std::span<const uint32_t> defects,
+                          DecodeWorkspace &workspace,
+                          DecodeTrace *trace)
+{
+    if (trace) {
+        trace->reset();
+        trace->hwBefore = static_cast<int>(defects.size());
+    }
+    DecodeResult result;
+    result.realTime = false;
+    if (defects.empty()) {
+        return result;
+    }
+    SparseMatchingProblem &problem = workspace.sparseProblem;
+    problem.build(paths_, defects);
+    MatchingSolution &solution = workspace.solution;
+    workspace.sparseMatcher.solve(problem, solution);
+    if (!solution.valid) {
+        result.aborted = true;
+        return result;
+    }
+    result.predictedObs = problem.solutionObs(solution);
+    result.weight = solution.totalWeight;
+    if (trace) {
+        problem.chainLengthsInto(solution, trace->chainLengths);
+    }
+    return result;
+}
+
+QEC_REGISTER_DECODER(
+    sparse,
+    "exact MWPM via sparse local growth (PathTable-pair-free)",
+    [](const BuildContext &context) {
+        return std::make_unique<SparseMwpmDecoder>(context.graph,
+                                                   context.paths);
+    });
+
+} // namespace qec

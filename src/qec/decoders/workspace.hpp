@@ -45,6 +45,7 @@
 #include "qec/matching/defect_graph.hpp"
 #include "qec/matching/exhaustive.hpp"
 #include "qec/matching/near_exhaustive.hpp"
+#include "qec/matching/sparse_matcher.hpp"
 #include "qec/predecode/predecoder.hpp"
 #include "qec/predecode/syndrome_subgraph.hpp"
 #include "qec/util/arena.hpp"
@@ -99,6 +100,11 @@ struct DecodeWorkspace
     ExhaustiveSolver exhaustive;
     /** Reusable budgeted branch-and-bound engine (Astrea-G). */
     NearExhaustiveSolver nearExhaustive;
+    /** Sparse matching layer: pruned candidate view of a syndrome
+     *  (holds its own lazy DistanceOracle). */
+    SparseMatchingProblem sparseProblem;
+    /** Reusable sparse local-growth matcher (SparseMWPM decoder). */
+    SparseMatcher sparseMatcher;
     /** 64-lane block decode scratch (decodeBlock only). */
     BlockScratch block;
 };

@@ -1,0 +1,118 @@
+#include "qec/graph/distance_oracle.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+} // namespace
+
+void
+DistanceOracle::bind(const DecodingGraph &graph)
+{
+    if (graph_ == &graph) {
+        return;
+    }
+    graph_ = &graph;
+    n_ = graph.numDetectors();
+    epoch_ = 0;
+    stamp_.assign(n_, 0);
+    doneStamp_.assign(n_, 0);
+    dist_.resize(n_);
+    obs_.resize(n_);
+    hops_.resize(n_);
+    targetStamp_.assign(n_, 0);
+    targetSlot_.resize(n_);
+}
+
+void
+DistanceOracle::nextEpoch()
+{
+    if (++epoch_ == 0) {
+        // Stamp wraparound: invalidate everything the hard way.
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        std::fill(doneStamp_.begin(), doneStamp_.end(), 0);
+        std::fill(targetStamp_.begin(), targetStamp_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+void
+DistanceOracle::grow(uint32_t src, std::span<const uint32_t> targets,
+                     double radius, PathCell *out)
+{
+    QEC_ASSERT(graph_ != nullptr, "DistanceOracle is not bound");
+    const DecodingGraph &graph = *graph_;
+    nextEpoch();
+    size_t remaining = targets.size();
+    for (size_t k = 0; k < targets.size(); ++k) {
+        out[k] = PathCell{kInf, 0, 255};
+        targetStamp_[targets[k]] = epoch_;
+        targetSlot_[targets[k]] = static_cast<uint32_t>(k);
+    }
+
+    heap_.clear();
+    dist_[src] = 0.0;
+    obs_[src] = 0;
+    hops_[src] = 0;
+    stamp_[src] = epoch_;
+    heap_.push_back({0.0, src});
+
+    // The relax loop mirrors PathTable::buildPairs (see the header's
+    // bit-identity contract); the vector heap with std::greater<>
+    // pops the same (dist, node) sequence as the table's
+    // priority_queue because distinct entries are totally ordered.
+    while (!heap_.empty() && remaining > 0) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        const auto [du, u] = heap_.back();
+        heap_.pop_back();
+        if (doneStamp_[u] == epoch_) {
+            continue;
+        }
+        if (static_cast<double>(static_cast<float>(du)) > radius) {
+            // Frontier past the radius: every unsettled target is
+            // provably farther than the radius even after float
+            // narrowing, which is what the caller's pruning needs.
+            break;
+        }
+        doneStamp_[u] = epoch_;
+        if (targetStamp_[u] == epoch_) {
+            PathCell &cell = out[targetSlot_[u]];
+            cell.dist = static_cast<float>(du);
+            cell.obs = obs_[u];
+            cell.hops = static_cast<uint8_t>(
+                std::min<uint16_t>(hops_[u], 255));
+            --remaining;
+        }
+        for (uint32_t eid : graph.adjacentEdges(u)) {
+            const GraphEdge &edge = graph.edges()[eid];
+            if (edge.v == kBoundary) {
+                continue; // Boundary is never an intermediate hop.
+            }
+            const uint32_t w = (edge.u == u) ? edge.v : edge.u;
+            const double dw = du + edge.weight;
+            const bool fresh = stamp_[w] != epoch_;
+            if (fresh || dw < dist_[w]) {
+                dist_[w] = dw;
+                obs_[w] =
+                    obs_[u] ^ static_cast<uint8_t>(edge.obsMask);
+                hops_[w] = static_cast<uint16_t>(hops_[u] + 1);
+                stamp_[w] = epoch_;
+                heap_.push_back({dw, w});
+                std::push_heap(heap_.begin(), heap_.end(),
+                               std::greater<>{});
+            }
+        }
+    }
+}
+
+} // namespace qec

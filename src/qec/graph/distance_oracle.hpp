@@ -1,0 +1,106 @@
+/**
+ * @file
+ * On-demand shortest-path distances over the decoding graph.
+ *
+ * A DistanceOracle answers the same queries as a PathTable row —
+ * PathCell{dist, obs, hops} from one source detector to a set of
+ * target detectors — but computes them with a per-query Dijkstra
+ * over the CSR adjacency instead of reading an O(V²) precomputed
+ * matrix. It exists so high-distance stacks can run on a
+ * PathTable built with DeferPairs (boundary column only, O(V)
+ * memory): DistanceView falls back to it for gathers, and the
+ * sparse matcher uses its truncated growth to discover candidate
+ * edges locally.
+ *
+ * Bit-identity contract: the relax loop reproduces
+ * PathTable::buildPairs exactly — the same (double dist, node id)
+ * heap ordering (distinct entries are totally ordered, so the pop
+ * sequence is independent of heap layout), the same
+ * strict-improvement relaxation over adjacentEdges() with boundary
+ * edges excluded as intermediate hops, double accumulation along
+ * paths, and one float narrowing on record. Every cell the oracle
+ * settles is therefore bit-identical to the dense table's cell for
+ * the same pair.
+ *
+ * Truncated growth: Dijkstra settles nodes in nondecreasing
+ * distance order and a settled label is final, so the search can
+ * stop once the popped distance exceeds a caller radius — every
+ * already-settled target holds its exact table value, and every
+ * unsettled target is guaranteed to lie strictly beyond the radius
+ * (reported as an infinite cell). The stop test narrows the popped
+ * distance to float first so "beyond the radius" remains true of
+ * the float value a dense-table consumer would have read.
+ *
+ * Memory contract: all scratch is epoch-stamped and reused, so a
+ * warm oracle performs zero heap allocations per query (the
+ * DecodeWorkspace property). One oracle must not be shared between
+ * threads.
+ */
+
+#ifndef QEC_GRAPH_DISTANCE_ORACLE_HPP
+#define QEC_GRAPH_DISTANCE_ORACLE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "qec/graph/decoding_graph.hpp"
+#include "qec/graph/path_table.hpp"
+
+namespace qec
+{
+
+/** Reusable single-source Dijkstra engine over a decoding graph. */
+class DistanceOracle
+{
+  public:
+    /** Bind to a graph, sizing the scratch; cheap when already
+     *  bound to the same graph. */
+    void bind(const DecodingGraph &graph);
+
+    const DecodingGraph *boundGraph() const { return graph_; }
+
+    /**
+     * Single-source growth from `src`: fills out[k] with the
+     * PathCell for targets[k] (bit-identical to the dense
+     * PathTable entry) for every target settled within `radius`;
+     * targets beyond the radius — or unreachable without crossing
+     * the boundary — come back as {inf, 0, 255}. The search stops
+     * as soon as every target is settled or the frontier passes
+     * the radius, whichever is first; pass an infinite radius to
+     * settle all reachable targets (a full table-row gather).
+     *
+     * `targets` must be distinct detector indices; `out` must hold
+     * targets.size() cells. `src` may itself appear in `targets`
+     * (settled immediately at distance zero, like the table's
+     * diagonal).
+     */
+    void grow(uint32_t src, std::span<const uint32_t> targets,
+              double radius, PathCell *out);
+
+  private:
+    /** Dijkstra state entry: (distance, node). */
+    using HeapEntry = std::pair<double, uint32_t>;
+
+    void nextEpoch();
+
+    const DecodingGraph *graph_ = nullptr;
+    uint32_t n_ = 0;
+    uint32_t epoch_ = 0;
+    // Epoch-stamped labels: dist_/obs_/hops_ are valid (and done_
+    // means settled) only where the matching stamp equals epoch_,
+    // so a new query needs no O(V) clear.
+    std::vector<uint32_t> stamp_;
+    std::vector<uint32_t> doneStamp_;
+    std::vector<double> dist_;
+    std::vector<uint8_t> obs_;
+    std::vector<uint16_t> hops_;
+    // Stamped target membership: slot into `out` per detector.
+    std::vector<uint32_t> targetStamp_;
+    std::vector<uint32_t> targetSlot_;
+    std::vector<HeapEntry> heap_; //!< Binary heap via push/pop_heap.
+};
+
+} // namespace qec
+
+#endif // QEC_GRAPH_DISTANCE_ORACLE_HPP

@@ -1,6 +1,7 @@
 #include "qec/graph/distance_view.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace qec
 {
@@ -26,6 +27,19 @@ DistanceView::gather(const PathTable &paths,
     stride_ = s;
     cells_.resize(s * s);
     bcells_.resize(s);
+    if (!paths.pairsAvailable()) {
+        // Deferred table: compute each row with the oracle (one
+        // Dijkstra per defect, bit-identical to the table's cells).
+        oracle_.bind(paths.graph());
+        const double no_radius =
+            std::numeric_limits<double>::infinity();
+        for (size_t a = 0; a < s; ++a) {
+            oracle_.grow(dets_[a], dets_, no_radius,
+                         cells_.data() + a * s);
+            bcells_[a] = paths.boundaryCell(dets_[a]);
+        }
+        return;
+    }
     // Row-major gather: row a streams PathTable row dets_[a] at the
     // S defect columns; all three fields ride in the one PathCell.
     for (size_t a = 0; a < s; ++a) {

@@ -15,6 +15,13 @@
  * consumer reading the view is bit-identical with one reading the
  * table directly.
  *
+ * Deferred tables: when the PathTable was built with DeferPairs
+ * (no O(V²) pair half — the high-distance configuration), the
+ * gather computes the S×S block on the fly with the view's own
+ * DistanceOracle instead of copying table rows. The oracle
+ * reproduces the table's Dijkstra bit-for-bit, so consumers cannot
+ * tell the two gather paths apart.
+ *
  * Reuse across a decode stack: the pipeline's predecoder gathers the
  * view for the full defect set; the main decoder's residual is a
  * subset, and subsetMap() resolves it against the already-gathered
@@ -30,6 +37,7 @@
 #include <span>
 #include <vector>
 
+#include "qec/graph/distance_oracle.hpp"
 #include "qec/graph/path_table.hpp"
 
 namespace qec
@@ -87,6 +95,7 @@ class DistanceView
     size_t stride_ = 0;
     std::vector<PathCell> cells_;  //!< S×S gathered pair cells.
     std::vector<PathCell> bcells_; //!< Gathered boundary column.
+    DistanceOracle oracle_;        //!< Deferred-table gather engine.
 };
 
 } // namespace qec

@@ -17,24 +17,36 @@ constexpr float kInf = std::numeric_limits<float>::infinity();
 /** Dijkstra state entry: (distance, node). */
 using HeapEntry = std::pair<double, uint32_t>;
 
-} // namespace
-
-PathTable::PathTable(const DecodingGraph &graph)
-    : n(graph.numDetectors()),
-      cells(static_cast<size_t>(n) * n, PathCell{kInf, 0, 255}),
-      boundary(n, PathCell{kInf, 0, 255})
+/** Shared relax loop of both build phases (and the reference
+ *  semantics DistanceOracle mirrors): boundary edges never serve as
+ *  intermediate hops, distances accumulate in double, and a node's
+ *  labels are final once popped. */
+struct DijkstraScratch
 {
-    QEC_ASSERT(graph.numObservables() <= 8,
-               "PathTable packs obs masks into 8 bits");
+    std::vector<double> dist;
+    std::vector<uint8_t> obs;
+    std::vector<uint16_t> hops;
+    std::vector<bool> done;
 
-    std::vector<double> dist(n);
-    std::vector<uint8_t> obs(n);
-    std::vector<uint16_t> hops(n);
-    std::vector<bool> done(n);
+    explicit DijkstraScratch(uint32_t n)
+        : dist(n), obs(n), hops(n), done(n)
+    {
+    }
 
-    auto relax_all = [&](std::priority_queue<HeapEntry,
-                                             std::vector<HeapEntry>,
-                                             std::greater<>> &heap) {
+    void reset()
+    {
+        std::fill(dist.begin(), dist.end(),
+                  std::numeric_limits<double>::infinity());
+        std::fill(obs.begin(), obs.end(), 0);
+        std::fill(hops.begin(), hops.end(), 0);
+        std::fill(done.begin(), done.end(), false);
+    }
+
+    void relaxAll(const DecodingGraph &graph,
+                  std::priority_queue<HeapEntry,
+                                      std::vector<HeapEntry>,
+                                      std::greater<>> &heap)
+    {
         while (!heap.empty()) {
             const auto [du, u] = heap.top();
             heap.pop();
@@ -58,36 +70,60 @@ PathTable::PathTable(const DecodingGraph &graph)
                 }
             }
         }
-    };
+    }
+};
 
+} // namespace
+
+PathTable::PathTable(const DecodingGraph &graph)
+    : graph_(&graph), n(graph.numDetectors()),
+      cells(static_cast<size_t>(n) * n, PathCell{kInf, 0, 255}),
+      boundary(n, PathCell{kInf, 0, 255})
+{
+    QEC_ASSERT(graph.numObservables() <= 8,
+               "PathTable packs obs masks into 8 bits");
+    buildPairs(graph);
+    buildBoundary(graph);
+}
+
+PathTable::PathTable(const DecodingGraph &graph, DeferPairs)
+    : graph_(&graph), n(graph.numDetectors()),
+      boundary(n, PathCell{kInf, 0, 255})
+{
+    QEC_ASSERT(graph.numObservables() <= 8,
+               "PathTable packs obs masks into 8 bits");
+    buildBoundary(graph);
+}
+
+void
+PathTable::buildPairs(const DecodingGraph &graph)
+{
+    DijkstraScratch s(n);
     // Per-source Dijkstra for the pair tables.
     for (uint32_t src = 0; src < n; ++src) {
-        std::fill(dist.begin(), dist.end(),
-                  std::numeric_limits<double>::infinity());
-        std::fill(obs.begin(), obs.end(), 0);
-        std::fill(hops.begin(), hops.end(), 0);
-        std::fill(done.begin(), done.end(), false);
+        s.reset();
         std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                             std::greater<>>
             heap;
-        dist[src] = 0.0;
+        s.dist[src] = 0.0;
         heap.push({0.0, src});
-        relax_all(heap);
+        s.relaxAll(graph, heap);
         for (uint32_t v = 0; v < n; ++v) {
             PathCell &cell = cells[index(src, v)];
-            cell.dist = static_cast<float>(dist[v]);
-            cell.obs = obs[v];
-            cell.hops =
-                static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
+            cell.dist = static_cast<float>(s.dist[v]);
+            cell.obs = s.obs[v];
+            cell.hops = static_cast<uint8_t>(
+                std::min<uint16_t>(s.hops[v], 255));
         }
     }
+}
 
+void
+PathTable::buildBoundary(const DecodingGraph &graph)
+{
     // Multi-source Dijkstra seeded by every boundary edge.
-    std::fill(dist.begin(), dist.end(),
-              std::numeric_limits<double>::infinity());
-    std::fill(obs.begin(), obs.end(), 0);
-    std::fill(hops.begin(), hops.end(), 0);
-    std::fill(done.begin(), done.end(), false);
+    DijkstraScratch s(n);
+    s.reset();
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                         std::greater<>>
         heap;
@@ -97,19 +133,19 @@ PathTable::PathTable(const DecodingGraph &graph)
             continue;
         }
         const GraphEdge &edge = graph.edges()[eid];
-        if (edge.weight < dist[det]) {
-            dist[det] = edge.weight;
-            obs[det] = static_cast<uint8_t>(edge.obsMask);
-            hops[det] = 1;
+        if (edge.weight < s.dist[det]) {
+            s.dist[det] = edge.weight;
+            s.obs[det] = static_cast<uint8_t>(edge.obsMask);
+            s.hops[det] = 1;
             heap.push({edge.weight, det});
         }
     }
-    relax_all(heap);
+    s.relaxAll(graph, heap);
     for (uint32_t v = 0; v < n; ++v) {
-        boundary[v].dist = static_cast<float>(dist[v]);
-        boundary[v].obs = obs[v];
-        boundary[v].hops =
-            static_cast<uint8_t>(std::min<uint16_t>(hops[v], 255));
+        boundary[v].dist = static_cast<float>(s.dist[v]);
+        boundary[v].obs = s.obs[v];
+        boundary[v].hops = static_cast<uint8_t>(
+            std::min<uint16_t>(s.hops[v], 255));
     }
 }
 

@@ -22,6 +22,15 @@
  * distMat was float; they are unified to float so the gathered
  * DistanceView has one element type — a 24-bit mantissa is orders of
  * magnitude below the precision of any physical error prior.)
+ *
+ * Deferred mode: the pair half of the table is O(V²) cells plus V
+ * per-source Dijkstras, which is what caps setup at d≈13 (≈54 MB at
+ * d=17, ≈187 MB at d=21 — see bench/table8_storage.cpp). A table
+ * constructed with PathTable::DeferPairs builds only the O(V)
+ * boundary column and remembers the graph; pair distances are then
+ * computed on demand by DistanceOracle / the sparse matcher (both
+ * reproduce this file's Dijkstra bit-for-bit), and the pair-cell
+ * accessors assert. pairsAvailable() tells the two modes apart.
  */
 
 #ifndef QEC_GRAPH_PATH_TABLE_HPP
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "qec/graph/decoding_graph.hpp"
+#include "qec/util/assert.hpp"
 
 namespace qec
 {
@@ -50,7 +60,24 @@ static_assert(sizeof(PathCell) == 8,
 class PathTable
 {
   public:
+    /** Tag selecting boundary-only construction (see file comment). */
+    struct DeferPairs
+    {
+    };
+
     explicit PathTable(const DecodingGraph &graph);
+
+    /** Boundary-only table: O(V) memory, one multi-source Dijkstra.
+     *  Pair-cell accessors assert until pairsAvailable(). */
+    PathTable(const DecodingGraph &graph, DeferPairs);
+
+    /** False when constructed with DeferPairs: the O(V²) pair half
+     *  was skipped and consumers must compute pair distances via a
+     *  DistanceOracle instead. */
+    bool pairsAvailable() const { return !cells.empty(); }
+
+    /** The decoding graph this table was built over. */
+    const DecodingGraph &graph() const { return *graph_; }
 
     /** Shortest-path weight between two detectors. */
     float dist(uint32_t a, uint32_t b) const
@@ -79,7 +106,7 @@ class PathTable
     /** One row of the interleaved table (all pairs of detector a). */
     const PathCell *row(uint32_t a) const
     {
-        return cells.data() + static_cast<size_t>(a) * n;
+        return cells.data() + index(a, 0);
     }
 
     /** Shortest-path weight from a detector to the boundary. */
@@ -108,9 +135,16 @@ class PathTable
   private:
     size_t index(uint32_t a, uint32_t b) const
     {
+        QEC_ASSERT(pairsAvailable(),
+                   "pair cells were deferred (DeferPairs); use a "
+                   "DistanceOracle");
         return static_cast<size_t>(a) * n + b;
     }
 
+    void buildBoundary(const DecodingGraph &graph);
+    void buildPairs(const DecodingGraph &graph);
+
+    const DecodingGraph *graph_ = nullptr;
     uint32_t n = 0;
     std::vector<PathCell> cells;    //!< n x n interleaved pairs.
     std::vector<PathCell> boundary; //!< Per-detector boundary column.

@@ -11,6 +11,13 @@ namespace qec
 
 ExperimentContext::ExperimentContext(int distance, double p,
                                      int rounds)
+    : ExperimentContext(distance, p, rounds, false)
+{
+}
+
+ExperimentContext::ExperimentContext(int distance, double p,
+                                     int rounds,
+                                     bool deferPathTable)
     : distance_(distance), p_(p),
       rounds_(rounds < 0 ? distance : rounds), layout_(distance),
       experiment_(generateMemoryZ(layout_, rounds_,
@@ -19,7 +26,9 @@ ExperimentContext::ExperimentContext(int distance, double p,
       graphlike_(decomposeToGraphlike(dem_)),
       graph_(DecodingGraph::fromDem(graphlike_,
                                     experiment_.detectors)),
-      paths_(graph_)
+      paths_(deferPathTable
+                 ? PathTable(graph_, PathTable::DeferPairs{})
+                 : PathTable(graph_))
 {
 }
 

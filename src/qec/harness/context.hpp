@@ -36,6 +36,18 @@ class ExperimentContext
     ExperimentContext(int distance, double p, int rounds = -1);
 
     /**
+     * Like the main constructor, but when `deferPathTable` is true
+     * the PathTable is built with PathTable::DeferPairs: only the
+     * O(V) boundary column, no O(V²) pair half and no V per-source
+     * Dijkstras. This is the high-distance (d >= 17) configuration
+     * for sparse-matcher stacks; dense-matcher stacks still work on
+     * it (DistanceView computes gathers on the fly) but pay a
+     * Dijkstra per gathered row.
+     */
+    ExperimentContext(int distance, double p, int rounds,
+                      bool deferPathTable);
+
+    /**
      * Process-wide cache keyed by (distance, p, rounds); -1 rounds
      * means the paper's d-round setting. Thread-safe: concurrent
      * callers serialize on an internal mutex, so a threaded harness

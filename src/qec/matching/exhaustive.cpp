@@ -9,16 +9,21 @@ namespace qec
 
 double
 matchingWeight(const MatchingProblem &problem,
-               const MatchingSolution &solution)
+               MatchingSolution &solution)
 {
     double total = 0.0;
     for (int i = 0; i < problem.n; ++i) {
         const int m = solution.mate[i];
-        if (m == -1) {
-            total += problem.boundaryWeight[i];
-        } else if (m > i) {
-            total += problem.pair(i, m);
+        const double w = (m == -1)  ? problem.boundaryWeight[i]
+                         : (m > i)  ? problem.pair(i, m)
+                                    : 0.0;
+        if (w == kNoEdge) {
+            // Disallowed pairing: not a valid solution, and summing
+            // infinity would silently poison the total.
+            solution.valid = false;
+            return kNoEdge;
         }
+        total += w;
     }
     return total;
 }

@@ -51,9 +51,16 @@ struct MatchingSolution
     bool valid = false;
 };
 
-/** Recompute a solution's weight from the problem (for validation). */
+/**
+ * Recompute a solution's weight from the problem (for validation).
+ *
+ * A solution that uses a disallowed pairing (kNoEdge pair or
+ * boundary weight) is not a solution at all: it is marked
+ * valid=false and the returned weight is kNoEdge, instead of the
+ * historical behavior of silently summing infinity into the total.
+ */
 double matchingWeight(const MatchingProblem &problem,
-                      const MatchingSolution &solution);
+                      MatchingSolution &solution);
 
 } // namespace qec
 

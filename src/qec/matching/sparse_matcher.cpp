@@ -1,0 +1,342 @@
+#include "qec/matching/sparse_matcher.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "qec/util/assert.hpp"
+
+namespace qec
+{
+
+namespace
+{
+
+/** Keep a pair iff it is strictly cheaper than matching both ends
+ *  to the boundary (see the header's exactness argument; exact ties
+ *  are dropped because the two boundary matches cost the same and
+ *  are always available when the tie is finite). All compares in
+ *  double over the float cells, matching the dense builders. */
+bool
+keepCandidate(const PathCell &cell, const PathCell &bi,
+              const PathCell &bj)
+{
+    return std::isfinite(cell.dist) &&
+           static_cast<double>(cell.dist) <
+               static_cast<double>(bi.dist) +
+                   static_cast<double>(bj.dist);
+}
+
+} // namespace
+
+void
+SparseMatchingProblem::build(const PathTable &paths,
+                             std::span<const uint32_t> defects)
+{
+    n_ = static_cast<int>(defects.size());
+    defects_.assign(defects.begin(), defects.end());
+    bcells_.resize(n_);
+    for (int i = 0; i < n_; ++i) {
+        bcells_[i] = paths.boundaryCell(defects_[i]);
+    }
+    offsets_.clear();
+    cands_.clear();
+
+    if (paths.pairsAvailable()) {
+        // Dense backend: read table rows on demand and prune. No
+        // S×S block is materialized — only the kept candidates.
+        for (int i = 0; i < n_; ++i) {
+            offsets_.push_back(static_cast<int32_t>(cands_.size()));
+            const PathCell *row = paths.row(defects_[i]);
+            for (int j = i + 1; j < n_; ++j) {
+                const PathCell &cell = row[defects_[j]];
+                if (keepCandidate(cell, bcells_[i], bcells_[j])) {
+                    cands_.push_back({j, cell});
+                }
+            }
+        }
+        offsets_.push_back(static_cast<int32_t>(cands_.size()));
+        return;
+    }
+
+    // Sparse backend: truncated local growth per source. The radius
+    // db(i) + max db(j) over the remaining targets guarantees every
+    // unsettled target fails keepCandidate, so the two backends
+    // produce the identical candidate set (oracle cells are
+    // bit-identical to table cells).
+    oracle_.bind(paths.graph());
+    suffixMax_.resize(static_cast<size_t>(n_) + 1);
+    suffixMax_[n_] = 0.0;
+    for (int i = n_ - 1; i >= 0; --i) {
+        suffixMax_[i] = std::max(
+            suffixMax_[i + 1], static_cast<double>(bcells_[i].dist));
+    }
+    rowScratch_.resize(n_ > 0 ? static_cast<size_t>(n_) : 0);
+    for (int i = 0; i < n_; ++i) {
+        offsets_.push_back(static_cast<int32_t>(cands_.size()));
+        const int targets = n_ - 1 - i;
+        if (targets == 0) {
+            continue;
+        }
+        const double radius =
+            static_cast<double>(bcells_[i].dist) + suffixMax_[i + 1];
+        oracle_.grow(
+            defects_[i],
+            std::span<const uint32_t>(defects_).subspan(i + 1),
+            radius, rowScratch_.data());
+        for (int k = 0; k < targets; ++k) {
+            const int j = i + 1 + k;
+            const PathCell &cell = rowScratch_[k];
+            if (keepCandidate(cell, bcells_[i], bcells_[j])) {
+                cands_.push_back({j, cell});
+            }
+        }
+    }
+    offsets_.push_back(static_cast<int32_t>(cands_.size()));
+}
+
+const PathCell &
+SparseMatchingProblem::pairCell(int i, int j) const
+{
+    for (const SparseCandidate &cand : candidates(i)) {
+        if (cand.j == j) {
+            return cand.cell;
+        }
+    }
+    QEC_PANIC("matched pair is not a kept sparse candidate");
+}
+
+uint64_t
+SparseMatchingProblem::solutionObs(
+    const MatchingSolution &solution) const
+{
+    QEC_ASSERT(solution.mate.size() == static_cast<size_t>(n_),
+               "solution size mismatch");
+    uint64_t obs = 0;
+    for (int i = 0; i < n_; ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            obs ^= bcells_[i].obs;
+        } else if (m > i) {
+            obs ^= pairCell(i, m).obs;
+        }
+    }
+    return obs;
+}
+
+void
+SparseMatchingProblem::chainLengthsInto(
+    const MatchingSolution &solution, std::vector<int> &out) const
+{
+    QEC_ASSERT(solution.mate.size() == static_cast<size_t>(n_),
+               "solution size mismatch");
+    out.clear();
+    for (int i = 0; i < n_; ++i) {
+        const int m = solution.mate[i];
+        if (m == -1) {
+            out.push_back(bcells_[i].hops);
+        } else if (m > i) {
+            out.push_back(pairCell(i, m).hops);
+        }
+    }
+}
+
+int32_t
+SparseMatcher::find(int32_t x)
+{
+    while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]]; // Path halving.
+        x = parent_[x];
+    }
+    return x;
+}
+
+void
+SparseMatcher::solve(const SparseMatchingProblem &problem,
+                     MatchingSolution &out)
+{
+    const int n = problem.size();
+    out.mate.assign(n, -2);
+    out.totalWeight = 0.0;
+    out.valid = true;
+    if (n == 0) {
+        return;
+    }
+
+    // Connected components of the candidate graph: defects in
+    // different components never match each other (no kept edge),
+    // so each component is an independent exact subproblem — the
+    // win over one monolithic dense solve.
+    parent_.resize(n);
+    for (int i = 0; i < n; ++i) {
+        parent_[i] = i;
+    }
+    for (int i = 0; i < n; ++i) {
+        for (const SparseCandidate &cand : problem.candidates(i)) {
+            const int32_t a = find(i);
+            const int32_t b = find(cand.j);
+            if (a != b) {
+                parent_[b] = a;
+            }
+        }
+    }
+    compOf_.assign(n, -1);
+    compCount_.clear();
+    int comps = 0;
+    for (int i = 0; i < n; ++i) {
+        const int32_t r = find(i);
+        if (compOf_[r] == -1) {
+            compOf_[r] = comps++;
+            compCount_.push_back(0);
+        }
+        compOf_[i] = compOf_[r];
+        ++compCount_[compOf_[i]];
+    }
+    compStart_.resize(comps + 1);
+    compStart_[0] = 0;
+    for (int c = 0; c < comps; ++c) {
+        compStart_[c + 1] = compStart_[c] + compCount_[c];
+    }
+    members_.resize(n);
+    localPos_.resize(n);
+    {
+        // Counting sort by component, ascending local index within.
+        std::vector<int32_t> &fill = compCount_; // Reuse as cursor.
+        for (int c = 0; c < comps; ++c) {
+            fill[c] = compStart_[c];
+        }
+        for (int i = 0; i < n; ++i) {
+            const int c = compOf_[i];
+            localPos_[i] = fill[c] - compStart_[c];
+            members_[fill[c]++] = i;
+        }
+    }
+
+    for (int c = 0; c < comps; ++c) {
+        const int32_t *mem = members_.data() + compStart_[c];
+        const int m = compStart_[c + 1] - compStart_[c];
+        if (m == 1) {
+            // Isolated defect: every pair was pruned (or none is
+            // finite), so the boundary is the only legal mate.
+            const int i = mem[0];
+            if (!std::isfinite(problem.boundaryCell(i).dist)) {
+                out.valid = false;
+                return;
+            }
+            out.mate[i] = -1;
+            continue;
+        }
+        if (m == 2) {
+            // One candidate edge by construction: pair up unless
+            // two boundary matches are strictly cheaper.
+            const int i = mem[0];
+            const int j = mem[1];
+            const double wp = problem.pairCell(i, j).dist;
+            const double wb =
+                static_cast<double>(
+                    problem.boundaryCell(i).dist) +
+                static_cast<double>(problem.boundaryCell(j).dist);
+            if (wp <= wb) {
+                out.mate[i] = j;
+                out.mate[j] = i;
+            } else {
+                out.mate[i] = -1;
+                out.mate[j] = -1;
+            }
+            continue;
+        }
+        // General component: its dense subproblem over members only.
+        sub_.n = m;
+        sub_.pairWeight.assign(static_cast<size_t>(m) * m, kNoEdge);
+        sub_.boundaryWeight.assign(m, kNoEdge);
+        for (int a = 0; a < m; ++a) {
+            const int i = mem[a];
+            const double db = problem.boundaryCell(i).dist;
+            if (std::isfinite(db)) {
+                sub_.boundaryWeight[a] = db;
+            }
+            for (const SparseCandidate &cand :
+                 problem.candidates(i)) {
+                sub_.setPair(a, localPos_[cand.j],
+                             static_cast<double>(cand.cell.dist));
+            }
+        }
+        if (m <= kDpMaxSize) {
+            // Subset DP, exact and unquantized: dp[mask] is the
+            // cheapest way to resolve the defect subset `mask`,
+            // matching the mask's lowest bit either to the boundary
+            // or to another member. Infinities (pruned pairs,
+            // unreachable boundary) propagate naturally; an
+            // infinite dp[full] means the component is infeasible.
+            const uint32_t full = (1u << m) - 1;
+            dpCost_.resize(static_cast<size_t>(full) + 1);
+            dpChoice_.resize(static_cast<size_t>(full) + 1);
+            double *const dp = dpCost_.data();
+            int8_t *const choice_of = dpChoice_.data();
+            dp[0] = 0.0;
+            for (uint32_t mask = 1; mask <= full; ++mask) {
+                const int i = std::countr_zero(mask);
+                const uint32_t rest = mask & (mask - 1);
+                const double *const prow =
+                    sub_.pairWeight.data() +
+                    static_cast<size_t>(i) * m;
+                double best = sub_.boundaryWeight[i] + dp[rest];
+                int8_t choice = -1;
+                for (uint32_t bits = rest; bits != 0;) {
+                    const uint32_t low = bits & (0u - bits);
+                    bits ^= low;
+                    const int j = std::countr_zero(low);
+                    const double w = prow[j] + dp[rest ^ low];
+                    if (w < best) {
+                        best = w;
+                        choice = static_cast<int8_t>(j);
+                    }
+                }
+                dp[mask] = best;
+                choice_of[mask] = choice;
+            }
+            if (!std::isfinite(dp[full])) {
+                out.valid = false;
+                return;
+            }
+            uint32_t mask = full;
+            while (mask != 0) {
+                const int i = std::countr_zero(mask);
+                const int8_t choice = dpChoice_[mask];
+                mask &= mask - 1;
+                if (choice < 0) {
+                    out.mate[mem[i]] = -1;
+                } else {
+                    out.mate[mem[i]] = mem[choice];
+                    out.mate[mem[choice]] = mem[i];
+                    mask ^= 1u << choice;
+                }
+            }
+            continue;
+        }
+        blossom_.solve(sub_, subSol_);
+        if (!subSol_.valid) {
+            out.valid = false;
+            return;
+        }
+        for (int a = 0; a < m; ++a) {
+            const int sm = subSol_.mate[a];
+            out.mate[mem[a]] = sm == -1 ? -1 : mem[sm];
+        }
+    }
+
+    // Total in ascending local order, mirroring matchingWeight's
+    // accumulation order over the dense problem.
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const int m = out.mate[i];
+        if (m == -1) {
+            total += problem.boundaryCell(i).dist;
+        } else if (m > i) {
+            total += problem.pairCell(i, m).dist;
+        }
+    }
+    out.totalWeight = total;
+}
+
+} // namespace qec

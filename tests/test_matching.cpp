@@ -46,7 +46,7 @@ void
 expectSolutionsMatch(const MatchingProblem &problem, int trial)
 {
     const MatchingSolution oracle = solveExhaustive(problem);
-    const MatchingSolution blossom = solveBlossom(problem);
+    MatchingSolution blossom = solveBlossom(problem);
     ASSERT_EQ(oracle.valid, blossom.valid) << "trial " << trial;
     if (!oracle.valid) {
         return;
@@ -242,6 +242,37 @@ TEST(Blossom, SolverReuseMatchesFreshSolves)
         EXPECT_DOUBLE_EQ(reused.totalWeight, fresh.totalWeight)
             << trial;
     }
+}
+
+TEST(Matching, MatchingWeightFlagsDisallowedPairing)
+{
+    // Regression: matchingWeight used to silently sum kNoEdge
+    // (infinity) into the total when a solution used a disallowed
+    // pairing; it must report valid=false instead.
+    MatchingProblem p;
+    p.n = 2;
+    p.pairWeight.assign(4, kNoEdge); // Pairing 0-1 is illegal.
+    p.boundaryWeight.assign(2, 1.5);
+
+    MatchingSolution bad;
+    bad.mate = {1, 0};
+    bad.valid = true;
+    EXPECT_EQ(matchingWeight(p, bad), kNoEdge);
+    EXPECT_FALSE(bad.valid);
+
+    MatchingSolution boundary;
+    boundary.mate = {-1, -1};
+    boundary.valid = true;
+    EXPECT_DOUBLE_EQ(matchingWeight(p, boundary), 3.0);
+    EXPECT_TRUE(boundary.valid);
+
+    // Disallowed boundary matches are caught too.
+    p.boundaryWeight[1] = kNoEdge;
+    MatchingSolution badBoundary;
+    badBoundary.mate = {-1, -1};
+    badBoundary.valid = true;
+    EXPECT_EQ(matchingWeight(p, badBoundary), kNoEdge);
+    EXPECT_FALSE(badBoundary.valid);
 }
 
 TEST(Exhaustive, CountsMatchingsWithoutPruning)

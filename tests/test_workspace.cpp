@@ -157,7 +157,9 @@ syndromeSet(const ExperimentContext &ctx)
 const char *const kZeroAllocSpecs[] = {"promatch+astrea",
                                        "astrea_g", "mwpm",
                                        "pinball+mwpm",
-                                       "pinball+astrea"};
+                                       "pinball+astrea",
+                                       "sparse",
+                                       "promatch+sparse"};
 
 TEST(WorkspaceZeroAlloc, ExplicitWorkspaceSteadyState)
 {
