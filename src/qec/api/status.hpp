@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Recoverable error taxonomy for untrusted entry paths.
+ *
+ * The library's internal invariants stay hard asserts (QEC_ASSERT
+ * aborts — a violated invariant means the process state is gone).
+ * Inputs that cross a trust boundary — a syndrome stream arriving
+ * over the serve layer, a DEM read from a file, a spec string typed
+ * by a user — are a different matter: one poisoned request must
+ * fail alone, not take the worker pool down with it. Those paths
+ * report a DecodeStatus instead of asserting, and the serve layer
+ * carries the status through to the response handler so callers can
+ * count, log, or retry per request.
+ */
+
+#ifndef QEC_API_STATUS_HPP
+#define QEC_API_STATUS_HPP
+
+#include <cstdint>
+
+namespace qec
+{
+
+/** Per-request outcome of the serving / streaming entry paths. */
+enum class DecodeStatus : uint8_t
+{
+    /** Decoded normally (the result fields are meaningful). */
+    kOk = 0,
+    /**
+     * Stream structure is invalid: layer offsets out of order, a
+     * defect outside its declared layer, unsorted defects, or a
+     * detectorsPerRound that disagrees with the decoder.
+     */
+    kMalformedStream,
+    /** A defect id is >= the decoding graph's detector count. */
+    kDetectorOutOfRange,
+    /** The request's deadline passed before a worker picked it up. */
+    kDeadlineExpired,
+    /** Admission failed: every request slot was in flight. */
+    kQueueFull,
+    /** Admission failed: the server is stopping or stopped. */
+    kStopped,
+};
+
+/** Stable lower_snake name for logs and JSON (never nullptr). */
+inline const char *
+statusName(DecodeStatus status)
+{
+    switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kMalformedStream: return "malformed_stream";
+    case DecodeStatus::kDetectorOutOfRange:
+        return "detector_out_of_range";
+    case DecodeStatus::kDeadlineExpired: return "deadline_expired";
+    case DecodeStatus::kQueueFull: return "queue_full";
+    case DecodeStatus::kStopped: return "stopped";
+    }
+    return "unknown";
+}
+
+} // namespace qec
+
+#endif // QEC_API_STATUS_HPP

@@ -69,11 +69,20 @@ DetectorErrorModel::addMechanism(std::vector<uint32_t> dets,
     if (unique.empty() && obs_mask == 0) {
         return; // Invisible and harmless.
     }
-    QEC_ASSERT(!unique.empty() || obs_mask == 0,
-               "undetectable logical error mechanism (distance-0 "
-               "circuit?)");
+    // Untrusted entry path (imported DEMs): recoverable throws, so
+    // one bad external model fails alone instead of aborting.
+    if (unique.empty() && obs_mask != 0) {
+        throw DemError("undetectable logical error mechanism "
+                       "(distance-0 circuit?)");
+    }
     for (uint32_t d : unique) {
-        QEC_ASSERT(d < numDetectors_, "detector index out of range");
+        if (d >= numDetectors_) {
+            throw DemError("mechanism detector index " +
+                           std::to_string(d) +
+                           " out of range (model declares " +
+                           std::to_string(numDetectors_) +
+                           " detectors)");
+        }
     }
 
     const uint64_t h = hashDets(unique, obs_mask);

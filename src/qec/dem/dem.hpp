@@ -12,12 +12,26 @@
 #define QEC_DEM_DEM_HPP
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 namespace qec
 {
+
+/**
+ * A DEM that violates its own dimensions (a mechanism naming a
+ * detector past numDetectors, or an undetectable logical error).
+ * Thrown, not asserted: DEMs cross the trust boundary when they are
+ * imported from external circuit models, and one bad model must not
+ * abort a process serving others.
+ */
+class DemError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** One independent error mechanism. */
 struct DemMechanism
@@ -53,6 +67,10 @@ class DetectorErrorModel
      * detector set and observable mask. Merging uses XOR-combination
      * (p = p1(1-p2) + p2(1-p1)): the symptom appears iff an odd
      * number of the underlying faults fire.
+     *
+     * Throws DemError when a detector index is out of range or the
+     * mechanism is an undetectable logical error (flips observables
+     * but no detectors); p <= 0 inputs are dropped silently.
      */
     void addMechanism(std::vector<uint32_t> dets, uint64_t obs_mask,
                       double prob);

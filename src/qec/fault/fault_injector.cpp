@@ -1,0 +1,136 @@
+#include "qec/fault/fault_injector.hpp"
+
+#include "qec/util/assert.hpp"
+#include "qec/util/rng.hpp"
+
+namespace qec
+{
+
+FaultInjector::FaultInjector(uint64_t seed, FaultPlan plan)
+    : seed_(seed), plan_(plan)
+{
+    QEC_ASSERT(plan.stallProbability >= 0.0 &&
+                   plan.stallProbability <= 1.0 &&
+                   plan.corruptProbability >= 0.0 &&
+                   plan.corruptProbability <= 1.0 &&
+                   plan.rejectProbability >= 0.0 &&
+                   plan.rejectProbability <= 1.0 &&
+                   plan.throwProbability >= 0.0 &&
+                   plan.throwProbability <= 1.0,
+               "fault probabilities must lie in [0, 1]");
+}
+
+bool
+FaultInjector::fire(Site site, double probability,
+                    std::atomic<uint64_t> &draws,
+                    std::atomic<uint64_t> &fired)
+{
+    if (probability <= 0.0) {
+        return false;
+    }
+    // The k-th draw of a site is decision k of that site's stream
+    // no matter which thread makes it: the multiset of decisions is
+    // a pure function of (seed, site, plan).
+    const uint64_t k =
+        draws.fetch_add(1, std::memory_order_relaxed);
+    Rng rng = Rng::forSample(seed_, site, k);
+    if (rng.nextDouble() >= probability) {
+        return false;
+    }
+    fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+FaultInjector::injectReject()
+{
+    return fire(kRejectSite, plan_.rejectProbability, rejectDraws_,
+                rejectsFired_);
+}
+
+bool
+FaultInjector::injectStall(uint64_t *ns)
+{
+    if (!fire(kStallSite, plan_.stallProbability, stallDraws_,
+              stallsFired_)) {
+        return false;
+    }
+    *ns = plan_.stallNs;
+    return true;
+}
+
+bool
+FaultInjector::injectThrow()
+{
+    return fire(kThrowSite, plan_.throwProbability, throwDraws_,
+                throwsFired_);
+}
+
+const SyndromeStream *
+FaultInjector::maybeCorrupt(const SyndromeStream &stream,
+                            SyndromeStream &scratch,
+                            uint32_t numDetectors)
+{
+    if (!fire(kCorruptSite, plan_.corruptProbability, corruptDraws_,
+              corruptedFired_)) {
+        return &stream;
+    }
+    scratch.rounds = stream.rounds;
+    scratch.detectorsPerRound = stream.detectorsPerRound;
+    scratch.observedObs = stream.observedObs;
+    scratch.defects.assign(stream.defects.begin(),
+                           stream.defects.end());
+    scratch.layerOffsets.assign(stream.layerOffsets.begin(),
+                                stream.layerOffsets.end());
+    if (scratch.defects.empty()) {
+        // Give the empty stream one impossible defect in its final
+        // layer so the CSR stays consistent.
+        scratch.defects.push_back(numDetectors);
+        scratch.layerOffsets.back() = 1;
+    } else {
+        // Ids stay ascending: numDetectors exceeds every valid id.
+        scratch.defects.back() = numDetectors;
+    }
+    return &scratch;
+}
+
+void
+FaultInjector::wedge(int worker)
+{
+    QEC_ASSERT(worker >= 0 && worker < 64,
+               "wedge() supports workers 0..63");
+    wedgedMask_.fetch_or(uint64_t{1} << worker,
+                         std::memory_order_release);
+}
+
+void
+FaultInjector::release(int worker)
+{
+    QEC_ASSERT(worker >= 0 && worker < 64,
+               "release() supports workers 0..63");
+    wedgedMask_.fetch_and(~(uint64_t{1} << worker),
+                          std::memory_order_release);
+}
+
+bool
+FaultInjector::wedged(int worker) const
+{
+    if (worker < 0 || worker >= 64) {
+        return false;
+    }
+    return (wedgedMask_.load(std::memory_order_acquire) >> worker) &
+           1u;
+}
+
+FaultInjector::Counts
+FaultInjector::counts() const
+{
+    Counts out;
+    out.stalls = stallsFired_.load(std::memory_order_acquire);
+    out.corrupted = corruptedFired_.load(std::memory_order_acquire);
+    out.rejects = rejectsFired_.load(std::memory_order_acquire);
+    out.throws = throwsFired_.load(std::memory_order_acquire);
+    return out;
+}
+
+} // namespace qec

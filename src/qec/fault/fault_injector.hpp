@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic fault injection for the serve subsystem.
+ *
+ * A robustness claim ("the server never strands an accepted
+ * request") is only as strong as the faults it was tested against.
+ * FaultInjector produces a seeded schedule of the failure modes a
+ * production decode service actually sees — worker stalls (GC
+ * pause, page fault, NUMA migration), admission storms (every slot
+ * in flight), corrupted streams (a detector id past the graph), and
+ * misbehaving response handlers — and threads them through
+ * DecodeServer behind a nullable hook: a server built without an
+ * injector takes one null-pointer branch per request and nothing
+ * else.
+ *
+ * Determinism contract: every decision is a pure function of
+ * (seed, site, k) via the counter-based Rng, where k is the site's
+ * own atomic draw counter. Two runs with the same seed and plan see
+ * the same multiset of fired faults per site regardless of thread
+ * interleaving — the chaos suite exploits this to assert exact
+ * counter reconciliation.
+ */
+
+#ifndef QEC_FAULT_FAULT_INJECTOR_HPP
+#define QEC_FAULT_FAULT_INJECTOR_HPP
+
+#include <atomic>
+#include <cstdint>
+
+#include "qec/serve/stream.hpp"
+
+namespace qec
+{
+
+/** Per-site fault rates (probability per opportunity). */
+struct FaultPlan
+{
+    /** Chance a worker stalls for stallNs after dequeuing. */
+    double stallProbability = 0.0;
+    /** Injected stall duration (through the server's TimeSource). */
+    uint64_t stallNs = 100'000;
+    /** Chance a request's stream is corrupted before decoding. */
+    double corruptProbability = 0.0;
+    /** Chance an admission is refused outright (simulated storm). */
+    double rejectProbability = 0.0;
+    /**
+     * Chance a throw-aware response handler throws. The injector
+     * only makes the decision; the test's handler consults
+     * injectThrow() and does the throwing.
+     */
+    double throwProbability = 0.0;
+};
+
+/** Seeded fault schedule; all methods are thread-safe. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(uint64_t seed, FaultPlan plan = {});
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Decide whether this admission is refused. */
+    bool injectReject();
+
+    /** Decide whether to stall; fills *ns with the duration. */
+    bool injectStall(uint64_t *ns);
+
+    /** Decide whether a response handler should throw. */
+    bool injectThrow();
+
+    /**
+     * Decide whether to corrupt `stream`. When the fault fires, the
+     * stream is copied into `scratch` (capacity reused across
+     * calls), its last defect is replaced by an id past
+     * `numDetectors` (an empty stream gains one such defect in its
+     * final layer), and &scratch is returned; otherwise &stream is
+     * returned untouched. The corruption keeps defect ids ascending
+     * so it is caught by the out-of-range check, not by accident.
+     */
+    const SyndromeStream *maybeCorrupt(const SyndromeStream &stream,
+                                       SyndromeStream &scratch,
+                                       uint32_t numDetectors);
+
+    /**
+     * Manually wedge worker `worker` (in [0, 64)): the worker parks
+     * after its next dequeue until release(). Drives the watchdog
+     * tests; independent of the probabilistic schedule.
+     */
+    void wedge(int worker);
+    void release(int worker);
+    bool wedged(int worker) const;
+
+    /** Faults fired so far, per site. */
+    struct Counts
+    {
+        uint64_t stalls = 0;
+        uint64_t corrupted = 0;
+        uint64_t rejects = 0;
+        uint64_t throws = 0;
+    };
+
+    Counts counts() const;
+
+  private:
+    /** Decision-stream ids (the `stream` argument of forSample). */
+    enum Site : uint64_t
+    {
+        kStallSite = 1,
+        kCorruptSite = 2,
+        kRejectSite = 3,
+        kThrowSite = 4,
+    };
+
+    bool fire(Site site, double probability,
+              std::atomic<uint64_t> &draws,
+              std::atomic<uint64_t> &fired);
+
+    uint64_t seed_;
+    FaultPlan plan_;
+
+    std::atomic<uint64_t> stallDraws_{0};
+    std::atomic<uint64_t> corruptDraws_{0};
+    std::atomic<uint64_t> rejectDraws_{0};
+    std::atomic<uint64_t> throwDraws_{0};
+    std::atomic<uint64_t> stallsFired_{0};
+    std::atomic<uint64_t> corruptedFired_{0};
+    std::atomic<uint64_t> rejectsFired_{0};
+    std::atomic<uint64_t> throwsFired_{0};
+    std::atomic<uint64_t> wedgedMask_{0};
+};
+
+} // namespace qec
+
+#endif // QEC_FAULT_FAULT_INJECTOR_HPP

@@ -21,11 +21,13 @@
 
 #include "qec/api/decoder_spec.hpp"
 #include "qec/api/registry.hpp"
+#include "qec/api/status.hpp"
 #include "qec/circuit/circuit.hpp"
 #include "qec/decoders/astrea.hpp"
 #include "qec/decoders/astrea_g.hpp"
 #include "qec/decoders/decoder.hpp"
 #include "qec/decoders/factory.hpp"
+#include "qec/decoders/fallback.hpp"
 #include "qec/decoders/latency.hpp"
 #include "qec/decoders/mwpm_decoder.hpp"
 #include "qec/decoders/parallel.hpp"
@@ -34,6 +36,7 @@
 #include "qec/decoders/workspace.hpp"
 #include "qec/dem/decompose.hpp"
 #include "qec/dem/dem.hpp"
+#include "qec/fault/fault_injector.hpp"
 #include "qec/gf2/gf2.hpp"
 #include "qec/graph/decoding_graph.hpp"
 #include "qec/graph/distance_view.hpp"
@@ -61,6 +64,7 @@
 #include "qec/util/arena.hpp"
 #include "qec/util/backoff.hpp"
 #include "qec/util/eytzinger.hpp"
+#include "qec/util/time_source.hpp"
 #include "qec/sim/error_enumerator.hpp"
 #include "qec/sim/frame_simulator.hpp"
 #include "qec/surface/circuit_gen.hpp"

@@ -21,17 +21,34 @@
  *
  * Backpressure contract: admission never blocks. When every slot is
  * in flight, submit() returns false, the request is counted in
- * stats().rejected, and the caller decides what to do — retry,
- * shed, or slow down. The server never drops a request it accepted.
+ * stats().rejected, and the caller decides what to do — retry
+ * (submitWithRetry bounds that with deterministic backoff), shed,
+ * or slow down. The server never drops a request it accepted.
+ *
+ * Robustness contract (docs/api.md §Robustness):
+ *  - Deadlines: submit() takes an optional relative deadline; a
+ *    request still queued when its deadline passes is completed
+ *    with DecodeStatus::kDeadlineExpired (no decode, counted in
+ *    stats().expired) — the handler still fires exactly once.
+ *  - Error taxonomy: a malformed or out-of-range stream fails alone
+ *    with a non-ok DecodeResponse::status (counted in
+ *    stats().failed); the worker pool keeps serving.
+ *  - Handlers that throw are contained: the exception is swallowed,
+ *    counted in stats().handlerExceptions, and never re-fires the
+ *    handler or strands the slot.
+ *  - Fault injection: a FaultInjector in ServeConfig threads
+ *    deterministic stalls / rejects / corruptions through the
+ *    worker loop; with no injector configured the hooks are single
+ *    null-pointer branches.
  *
  * Shutdown protocol: drain() spin-waits (with backoff) until every
- * accepted request has completed. stop() asks the workers to exit
- * once the ingest ring is empty and joins them; it drains
- * implicitly, is idempotent, and runs automatically on destruction.
- * Both require that producers have stopped submitting first — a
- * submit() racing stop() may be admitted after the workers checked
- * out and then never complete. submit() after stop() has returned
- * always returns false (counted as rejected).
+ * accepted request has completed or expired. stop() linearizes
+ * admission against shutdown — it raises the stopping flag, waits
+ * out every submit() already in flight, drains, and only then lets
+ * the workers exit — so a submit() racing stop() is either rejected
+ * or fully served, never stranded. stop() is idempotent and runs
+ * automatically on destruction; submit() after stop() always
+ * returns false (counted as rejected).
  */
 
 #ifndef QEC_SERVE_SERVER_HPP
@@ -44,14 +61,18 @@
 #include <thread>
 #include <vector>
 
+#include "qec/api/status.hpp"
 #include "qec/decoders/decoder.hpp"
 #include "qec/harness/histogram.hpp"
 #include "qec/serve/ring.hpp"
 #include "qec/serve/stream.hpp"
 #include "qec/serve/streaming.hpp"
+#include "qec/util/time_source.hpp"
 
 namespace qec
 {
+
+class FaultInjector;
 
 /** Server shape; fixed for the server's lifetime. */
 struct ServeConfig
@@ -66,6 +87,14 @@ struct ServeConfig
     int queueCapacity = 256;
     /** Sliding-window geometry of the per-worker decoders. */
     StreamingConfig streaming;
+    /** Clock for deadlines/latency; nullptr = steady clock. */
+    TimeSource *time = nullptr;
+    /**
+     * Deterministic fault schedule (chaos testing); nullptr (the
+     * default) disables every hook at the cost of one null check
+     * per request. Must outlive the server.
+     */
+    FaultInjector *faults = nullptr;
 };
 
 /** Completion record handed to the response handler. */
@@ -73,8 +102,10 @@ struct DecodeResponse
 {
     /** Caller's tag from submit() (e.g. an index into results). */
     uint64_t tag = 0;
-    /** Committed observable correction of the stream. */
+    /** Committed observable correction (0 unless status is kOk). */
     uint64_t correctedObs = 0;
+    /** kOk, kDeadlineExpired, or a stream-validation failure. */
+    DecodeStatus status = DecodeStatus::kOk;
     /** True if any underlying decode aborted. */
     bool aborted = false;
     /** submit() to completion, wall clock. */
@@ -85,8 +116,10 @@ struct DecodeResponse
 
 /**
  * Called by worker threads, possibly concurrently, once per
- * completed request. Must be thread-safe and should not allocate
- * (it runs on the serving hot path).
+ * completed request (including expired and failed ones — check
+ * response.status). Must be thread-safe and should not allocate
+ * (it runs on the serving hot path). A throwing handler is
+ * contained and counted, never re-fired.
  */
 using ResponseHandler = std::function<void(const DecodeResponse &)>;
 
@@ -95,12 +128,72 @@ struct ServeStats
 {
     uint64_t accepted = 0;
     uint64_t rejected = 0; //!< Backpressure drops (ring full).
+    /** Decoded (kOk or failed) — excludes expired. Invariant after
+     *  drain(): accepted == completed + expired. */
     uint64_t completed = 0;
+    uint64_t expired = 0;  //!< Deadline passed while queued.
+    uint64_t failed = 0;   //!< Completed with a non-ok status.
     uint64_t aborted = 0;  //!< Completed but with a decoder abort.
-    /** submit()-to-completion latency (ns). */
+    uint64_t handlerExceptions = 0; //!< Contained handler throws.
+    /** submit()-to-completion latency (ns); decoded requests only. */
     Histogram latency;
     /** Decode service time (ns), queueing excluded. */
     Histogram service;
+};
+
+/** Bounded-backoff policy of submitWithRetry. */
+struct RetryPolicy
+{
+    /** Total submit() attempts (>= 1). */
+    int maxAttempts = 6;
+    /** Backoff before the first retry. */
+    uint64_t initialBackoffNs = 2'000;
+    /** Exponential growth per retry. */
+    double multiplier = 2.0;
+    /** Backoff ceiling. */
+    uint64_t maxBackoffNs = 1'000'000;
+    /**
+     * Seed of the deterministic jitter stream: each wait is drawn
+     * from [backoff/2, backoff] as a pure function of
+     * (jitterSeed, tag, attempt) via the counter RNG, so retry
+     * storms decorrelate identically across runs.
+     */
+    uint64_t jitterSeed = 0x9ec0ffee;
+};
+
+/** Outcome of submitWithRetry. */
+struct SubmitResult
+{
+    /** False: every attempt was rejected (the request is shed). */
+    bool accepted = false;
+    /** Re-attempts made (0 = first submit succeeded). */
+    int retries = 0;
+};
+
+/** One worker's health fields (read concurrently, approximate). */
+struct WorkerHealth
+{
+    /** Last loop activity tick (TimeSource ns); 0 = never ran. */
+    uint64_t lastProgressNs = 0;
+    /** Dequeue tick of the request in hand; 0 = idle. */
+    uint64_t busySinceNs = 0;
+    /** Requests finished (expired included). */
+    uint64_t completed = 0;
+};
+
+/** Concurrent snapshot of server liveness (see health()). */
+struct HealthSnapshot
+{
+    /** Snapshot tick (same TimeSource as the worker fields). */
+    uint64_t nowNs = 0;
+    /** Requests admitted but not yet dequeued (approximate). */
+    size_t queueDepth = 0;
+    /** Slots free for admission (approximate). */
+    size_t freeSlots = 0;
+    /** Age of the oldest request currently held by a worker; 0 if
+     *  every worker is idle. A wedged worker makes this grow. */
+    uint64_t oldestInFlightAgeNs = 0;
+    std::vector<WorkerHealth> workers;
 };
 
 /** Worker-pool decode service over one prototype decoder. */
@@ -132,18 +225,49 @@ class DecodeServer
      * stopped; the stream is then untouched. The caller must keep
      * `stream` alive until the response fires. Thread-safe (any
      * number of producers).
+     *
+     * @param deadlineNs relative deadline from now; 0 = none. A
+     *                   request still queued past its deadline is
+     *                   completed as kDeadlineExpired without
+     *                   decoding (a decode already underway is
+     *                   never cancelled).
      */
-    bool submit(const SyndromeStream &stream, uint64_t tag);
+    bool submit(const SyndromeStream &stream, uint64_t tag,
+                uint64_t deadlineNs = 0);
 
     /**
-     * Wait until every accepted request has completed. Call after
-     * producers have stopped submitting; returns immediately if
-     * nothing is in flight.
+     * submit() with bounded exponential backoff between rejected
+     * attempts (deterministic jitter; waits go through the server's
+     * TimeSource, so a fake clock makes them instant). Every
+     * rejected attempt still counts in stats().rejected.
+     */
+    SubmitResult submitWithRetry(const SyndromeStream &stream,
+                                 uint64_t tag,
+                                 uint64_t deadlineNs = 0,
+                                 const RetryPolicy &policy = {});
+
+    /**
+     * Wait until every accepted request has completed or expired.
+     * Call after producers have stopped submitting; returns
+     * immediately if nothing is in flight.
      */
     void drain();
 
-    /** Drain, then stop and join the workers. Idempotent. */
+    /**
+     * Quiesce admission (racing submits finish first), drain, then
+     * stop and join the workers. Idempotent.
+     */
     void stop();
+
+    /**
+     * Liveness snapshot, safe to call concurrently with serving
+     * traffic (reads only atomics and the rings' approximate
+     * sizes). A watchdog polls this: queueDepth > 0 with a stale
+     * lastProgressNs, or a growing oldestInFlightAgeNs, flags a
+     * wedged worker. Allocates (the workers vector) — poll it from
+     * a monitoring thread, not the hot path.
+     */
+    HealthSnapshot health() const;
 
     /**
      * Aggregate per-worker stats. Only meaningful in a quiescent
@@ -162,17 +286,23 @@ class DecodeServer
     {
         const SyndromeStream *stream = nullptr;
         uint64_t tag = 0;
-        /** steady_clock nanos at admission. */
+        /** TimeSource nanos at admission. */
         uint64_t submitNs = 0;
+        /** Relative deadline; 0 = none. */
+        uint64_t deadlineNs = 0;
     };
 
     /** Per-worker engine and stats, cache-line separated. */
     struct Worker;
 
     void workerLoop(Worker &w);
+    TimeSource &time() const { return *time_; }
 
     ServeConfig config_;
     ResponseHandler handler_;
+    TimeSource *time_;
+    FaultInjector *faults_;
+    uint32_t numDetectors_ = 0;
 
     std::vector<Slot> slots_;
     /** Recycled slot indices (workers produce, submitters consume). */
@@ -186,7 +316,13 @@ class DecodeServer
     std::atomic<uint64_t> accepted_{0};
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> expired_{0};
+    /** submit() calls past the stopping check (see stop()). */
+    std::atomic<uint64_t> pendingSubmits_{0};
+    /** Refuse new admissions (raised first by stop()). */
     std::atomic<bool> stopping_{false};
+    /** Workers may exit once the ring is empty (raised last). */
+    std::atomic<bool> exit_{false};
     bool stopped_ = false;
 };
 

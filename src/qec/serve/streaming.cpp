@@ -12,7 +12,8 @@ StreamingDecoder::StreamingDecoder(Decoder &decoder,
                                    int detectorsPerRound,
                                    StreamingConfig config)
     : decoder_(decoder), workspace_(decoder.internalWorkspace()),
-      detectorsPerRound_(detectorsPerRound), config_(config)
+      detectorsPerRound_(detectorsPerRound), config_(config),
+      numDetectors_(decoder.graph().numDetectors())
 {
     QEC_ASSERT(detectorsPerRound >= 1,
                "detectorsPerRound must be positive");
@@ -30,19 +31,37 @@ StreamingDecoder::StreamingDecoder(Decoder &decoder,
                "forceCommitDefects must be positive");
 }
 
-void
+DecodeStatus
+StreamingDecoder::poison(DecodeStatus status)
+{
+    status_ = status;
+    ++stats_.malformedLayers;
+    return status;
+}
+
+DecodeStatus
 StreamingDecoder::pushLayer(std::span<const uint32_t> defects)
 {
-    // Validate the full span, not just its endpoints: a mid-span
-    // defect from the wrong layer (or an unsorted pair) would
-    // silently corrupt the window's ascending-id invariant that
-    // every split computation below relies on.
+    if (status_ != DecodeStatus::kOk) {
+        // Poisoned stream: refuse everything until reset() so a bad
+        // layer cannot half-corrupt the window invariants.
+        return status_;
+    }
+    // Validate the full span before buffering any of it, not just
+    // its endpoints: a mid-span defect from the wrong layer (or an
+    // unsorted pair) would silently corrupt the window's
+    // ascending-id invariant that every split computation below
+    // relies on. Layer data crosses the trust boundary (it arrives
+    // through the serve layer), so failures are recoverable
+    // statuses, never aborts.
     for (size_t i = 0; i < defects.size(); ++i) {
-        QEC_ASSERT(layerOf(defects[i]) == pushedLayers_,
-                   "pushed defects must all belong to the next "
-                   "layer");
-        QEC_ASSERT(i == 0 || defects[i] > defects[i - 1],
-                   "pushed defects must be strictly ascending");
+        if (defects[i] >= numDetectors_) {
+            return poison(DecodeStatus::kDetectorOutOfRange);
+        }
+        if (layerOf(defects[i]) != pushedLayers_ ||
+            (i > 0 && defects[i] <= defects[i - 1])) {
+            return poison(DecodeStatus::kMalformedStream);
+        }
     }
     window_.insert(window_.end(), defects.begin(), defects.end());
     stats_.defectsSeen += defects.size();
@@ -50,6 +69,7 @@ StreamingDecoder::pushLayer(std::span<const uint32_t> defects)
     while (pushedLayers_ >= winStart_ + config_.windowRounds) {
         processWindow();
     }
+    return DecodeStatus::kOk;
 }
 
 void
@@ -135,6 +155,11 @@ StreamingDecoder::processWindow()
 void
 StreamingDecoder::finish()
 {
+    if (status_ != DecodeStatus::kOk) {
+        // A poisoned stream's buffered prefix is not worth
+        // committing: the request failed as a unit.
+        return;
+    }
     // pushLayer already processed every complete window; whatever
     // is buffered now is the stream's tail — commit it whole.
     if (!window_.empty()) {
@@ -158,20 +183,55 @@ StreamingDecoder::reset()
     winStart_ = 0;
     committedObs_ = 0;
     aborted_ = false;
+    status_ = DecodeStatus::kOk;
     stats_ = {};
+}
+
+StreamDecodeOutcome
+StreamingDecoder::runChecked(const SyndromeStream &stream)
+{
+    reset();
+    StreamDecodeOutcome out;
+    // Structural validation before replaying a single layer: the
+    // CSR must be self-consistent or layer() spans would read out
+    // of bounds. None of these checks allocates, so the serve hot
+    // path stays heap-free.
+    bool wellFormed =
+        stream.detectorsPerRound == detectorsPerRound_ &&
+        stream.rounds >= 0 &&
+        stream.layerOffsets.size() ==
+            static_cast<size_t>(stream.layers()) + 1 &&
+        stream.layerOffsets.front() == 0 &&
+        stream.layerOffsets.back() == stream.defects.size();
+    for (int l = 0; wellFormed && l < stream.layers(); ++l) {
+        wellFormed = stream.layerOffsets[l] <=
+                     stream.layerOffsets[l + 1];
+    }
+    if (!wellFormed) {
+        out.status = poison(DecodeStatus::kMalformedStream);
+        return out;
+    }
+    for (int l = 0; l < stream.layers(); ++l) {
+        if (pushLayer(stream.layer(l)) != DecodeStatus::kOk) {
+            break;
+        }
+    }
+    finish();
+    out.committedObs =
+        status_ == DecodeStatus::kOk ? committedObs_ : 0;
+    out.status = status_;
+    out.aborted = aborted_;
+    return out;
 }
 
 uint64_t
 StreamingDecoder::run(const SyndromeStream &stream)
 {
-    QEC_ASSERT(stream.detectorsPerRound == detectorsPerRound_,
-               "stream and decoder disagree on detectors per layer");
-    reset();
-    for (int l = 0; l < stream.layers(); ++l) {
-        pushLayer(stream.layer(l));
-    }
-    finish();
-    return committedObs_;
+    const StreamDecodeOutcome out = runChecked(stream);
+    QEC_ASSERT(out.status == DecodeStatus::kOk,
+               "run() requires a well-formed stream; use "
+               "runChecked() on untrusted input");
+    return out.committedObs;
 }
 
 } // namespace qec

@@ -43,6 +43,7 @@
 #include <span>
 #include <vector>
 
+#include "qec/api/status.hpp"
 #include "qec/decoders/decoder.hpp"
 #include "qec/serve/stream.hpp"
 
@@ -84,6 +85,19 @@ struct StreamingStats
     uint64_t forcedCommits = 0;
     /** Largest buffered defect count at any window boundary. */
     uint64_t maxWindowDefects = 0;
+    /** Layers refused with a non-ok status (one per bad stream). */
+    uint64_t malformedLayers = 0;
+};
+
+/** Outcome of a checked end-to-end stream decode. */
+struct StreamDecodeOutcome
+{
+    /** XOR of all committed corrections (0 unless status is ok). */
+    uint64_t committedObs = 0;
+    /** Why the stream failed, or kOk. */
+    DecodeStatus status = DecodeStatus::kOk;
+    /** True if any underlying decode aborted. */
+    bool aborted = false;
 };
 
 /**
@@ -110,10 +124,21 @@ class StreamingDecoder
      * Push the next measurement layer's defects (ascending absolute
      * detector ids, all inside that layer). Processes any window
      * that becomes complete.
+     *
+     * Layer data is an untrusted entry path: a defect past the
+     * decoding graph, one from the wrong layer, or an unsorted pair
+     * returns a non-ok status instead of aborting the process. The
+     * first failure poisons the stream — status() sticks and every
+     * further push (and finish()) is refused until reset() — so one
+     * bad layer cannot half-corrupt the window invariants the
+     * commit math relies on.
      */
-    void pushLayer(std::span<const uint32_t> defects);
+    DecodeStatus pushLayer(std::span<const uint32_t> defects);
 
-    /** Flush: commit everything still buffered (end of stream). */
+    /**
+     * Flush: commit everything still buffered (end of stream).
+     * No-op on a poisoned stream.
+     */
     void finish();
 
     /** Forget all stream state; ready for a new stream. */
@@ -125,17 +150,31 @@ class StreamingDecoder
     /** True if any underlying decode aborted (sticky until reset). */
     bool aborted() const { return aborted_; }
 
+    /** First failure of the current stream; kOk until poisoned. */
+    DecodeStatus status() const { return status_; }
+
     const StreamingStats &stats() const { return stats_; }
     const StreamingConfig &config() const { return config_; }
 
     /**
-     * Convenience: reset, push every layer of `stream`, finish.
-     * Returns the committed observable correction.
+     * Checked end-to-end decode of an untrusted stream: reset,
+     * validate the CSR structure, push every layer, finish. A
+     * malformed stream (inconsistent offsets, wrong
+     * detectorsPerRound, bad defect ids) comes back with a non-ok
+     * status and committedObs == 0; the instance is reusable for
+     * the next stream either way.
+     */
+    StreamDecodeOutcome runChecked(const SyndromeStream &stream);
+
+    /**
+     * Trusted-input convenience: runChecked, asserting the stream
+     * was well-formed. Returns the committed correction.
      */
     uint64_t run(const SyndromeStream &stream);
 
   private:
     void processWindow();
+    DecodeStatus poison(DecodeStatus status);
 
     int layerOf(uint32_t id) const
     {
@@ -153,6 +192,8 @@ class StreamingDecoder
     int winStart_ = 0;
     uint64_t committedObs_ = 0;
     bool aborted_ = false;
+    DecodeStatus status_ = DecodeStatus::kOk;
+    uint32_t numDetectors_ = 0;
     StreamingStats stats_;
 };
 

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Injectable monotonic clock.
+ *
+ * Deadline checks, decode-time budgets, and retry backoff all read
+ * wall time on hot paths that tests must drive deterministically. A
+ * TimeSource abstracts the clock behind two calls (nowNs / sleepNs)
+ * so production code runs on the steady clock while tests substitute
+ * FakeTimeSource and advance virtual time by hand — a deadline test
+ * never actually sleeps, and an escalation test fires the budget at
+ * an exact, reproducible instant.
+ */
+
+#ifndef QEC_UTIL_TIME_SOURCE_HPP
+#define QEC_UTIL_TIME_SOURCE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace qec
+{
+
+/** Monotonic nanosecond clock; implementations are thread-safe. */
+class TimeSource
+{
+  public:
+    virtual ~TimeSource() = default;
+
+    /** Monotonic nanoseconds since an arbitrary epoch. */
+    virtual uint64_t nowNs() = 0;
+
+    /** Block (or advance virtual time) for `ns` nanoseconds. */
+    virtual void sleepNs(uint64_t ns) = 0;
+};
+
+/** The process steady clock (production default). */
+class SteadyTimeSource final : public TimeSource
+{
+  public:
+    uint64_t
+    nowNs() override
+    {
+        return static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void
+    sleepNs(uint64_t ns) override
+    {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+};
+
+/** Shared steady-clock instance (stateless, safe to share). */
+inline TimeSource &
+steadyTimeSource()
+{
+    static SteadyTimeSource source;
+    return source;
+}
+
+/**
+ * Deterministic virtual clock for tests.
+ *
+ * Time only moves when a thread calls advance()/set() or sleeps:
+ * sleepNs() advances the shared virtual clock by the requested
+ * amount instead of blocking, so backoff loops driven by a fake
+ * clock terminate immediately and deterministically. Starts at a
+ * nonzero instant so "tick 0" stays usable as a never-stamped
+ * sentinel.
+ */
+class FakeTimeSource final : public TimeSource
+{
+  public:
+    explicit FakeTimeSource(uint64_t startNs = 1'000'000)
+        : nowNs_(startNs)
+    {
+    }
+
+    uint64_t
+    nowNs() override
+    {
+        return nowNs_.load(std::memory_order_acquire);
+    }
+
+    void
+    sleepNs(uint64_t ns) override
+    {
+        advance(ns);
+    }
+
+    /** Move virtual time forward by `ns`. */
+    void
+    advance(uint64_t ns)
+    {
+        nowNs_.fetch_add(ns, std::memory_order_acq_rel);
+    }
+
+  private:
+    std::atomic<uint64_t> nowNs_;
+};
+
+} // namespace qec
+
+#endif // QEC_UTIL_TIME_SOURCE_HPP
