@@ -6,6 +6,7 @@
 #include "qec/decoders/workspace.hpp"
 #include "qec/matching/defect_graph.hpp"
 #include "qec/matching/near_exhaustive.hpp"
+#include "qec/util/realtime.hpp"
 
 namespace qec
 {
@@ -15,6 +16,7 @@ AstreaGDecoder::decode(std::span<const uint32_t> defects,
                        DecodeWorkspace &workspace,
                        DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());

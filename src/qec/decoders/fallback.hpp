@@ -112,6 +112,10 @@ class FallbackDecoder : public Decoder
 
     std::vector<std::unique_ptr<Decoder>> tiers_;
     FallbackConfig config_;
+    // Resolved at construction so decode() never runs the
+    // steadyTimeSource() one-time-init guard (a __cxa_guard lock
+    // pair the real-time audit forbids on hot paths).
+    TimeSource *time_;
     std::shared_ptr<Shared> shared_;
 };
 

@@ -1,6 +1,8 @@
 #include "qec/decoders/parallel.hpp"
 
 #include <algorithm>
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -10,6 +12,7 @@ ParallelDecoder::decode(std::span<const uint32_t> defects,
                         DecodeWorkspace &workspace,
                         DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());
@@ -19,10 +22,10 @@ ParallelDecoder::decode(std::span<const uint32_t> defects,
     // reuses the scratch.
     DecodeResult ra = a->decode(
         defects, workspace,
-        trace ? &trace->children.emplace_back() : nullptr);
+        trace ? &rt::emplaceBack(trace->children) : nullptr);
     DecodeResult rb = b->decode(
         defects, workspace,
-        trace ? &trace->children.emplace_back() : nullptr);
+        trace ? &rt::emplaceBack(trace->children) : nullptr);
 
     const double compare_ns =
         latency_.compareCycles * latency_.nsPerCycle;
@@ -57,8 +60,11 @@ ParallelDecoder::decode(std::span<const uint32_t> defects,
     }
     if (trace) {
         trace->parallelWinner = winner;
-        trace->chainLengths = std::move(
-            trace->children[winner].chainLengths);
+        // Swap, not move-assign: move-assignment frees chainLengths'
+        // retained capacity right here in the decode body. The swap
+        // parks it in the child, torn down with the trace tree.
+        std::swap(trace->chainLengths,
+                  trace->children[winner].chainLengths);
     }
     result.latencyNs = latency;
     if (latency > latency_.budgetNs) {

@@ -5,6 +5,8 @@
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/assert.hpp"
 #include "qec/util/bitvec.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -14,6 +16,7 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
                           DecodeWorkspace &workspace,
                           DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());
@@ -23,12 +26,13 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
     if (static_cast<int>(defects.size()) <= latency_.astreaMaxHw) {
         DecodeResult result = main_->decode(
             defects, workspace,
-            trace ? &trace->children.emplace_back() : nullptr);
+            trace ? &rt::emplaceBack(trace->children) : nullptr);
         if (trace) {
             trace->hwAfter = trace->hwBefore;
             trace->mainNs = result.latencyNs;
-            trace->chainLengths = std::move(
-                trace->children.back().chainLengths);
+            // Swap, not move-assign (no inline free; see parallel.cpp).
+            std::swap(trace->chainLengths,
+                      trace->children.back().chainLengths);
         }
         if (result.latencyNs > latency_.effectiveBudgetNs()) {
             result.aborted = true;
@@ -71,11 +75,12 @@ PredecodedDecoder::decode(std::span<const uint32_t> defects,
 
     DecodeResult main_result = main_->decode(
         handoff, workspace,
-        trace ? &trace->children.emplace_back() : nullptr);
+        trace ? &rt::emplaceBack(trace->children) : nullptr);
     if (trace) {
         trace->mainNs = main_result.latencyNs;
-        trace->chainLengths =
-            std::move(trace->children.back().chainLengths);
+        // Swap, not move-assign (no inline free; see parallel.cpp).
+        std::swap(trace->chainLengths,
+                  trace->children.back().chainLengths);
     }
 
     result.predictedObs =
@@ -100,6 +105,7 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
                                int lanes, DecodeWorkspace &workspace,
                                DecodeResult *results)
 {
+    QEC_REALTIME;
     QEC_ASSERT(lanes >= 1 && lanes <= 64,
                "decodeBlock lane count must be in [1, 64]");
     const uint64_t laneMask = laneMask64(lanes);
@@ -138,7 +144,7 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
     for (size_t r = 0; r < pre_result.residualDets.size(); ++r) {
         const uint32_t det = pre_result.residualDets[r];
         forEachSetBit(pre_result.residualWords[r], [&](int lane) {
-            block.laneDefects[lane].push_back(det);
+            rt::pushBack(block.laneDefects[lane], det);
         });
     }
 
@@ -148,7 +154,8 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
     // builder resolves as a subset of one block (bit-identical: the
     // view holds bit-copies of the PathTable either way).
     block.touched.clear();
-    block.laneWords.resize(detectorWords.size(), 0);
+    rt::resizeFill(block.laneWords, detectorWords.size(),
+                   uint64_t{0});
     size_t sum_sq = 0;
     const uint64_t mainMask =
         laneMask & ~(engagedMask & pre_result.decodedAllMask);
@@ -157,7 +164,7 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
         sum_sq += input.size() * input.size();
         for (uint32_t det : input) {
             if (block.laneWords[det] == 0) {
-                block.touched.push_back(det);
+                rt::pushBack(block.touched, det);
             }
             block.laneWords[det] = 1;
         }
@@ -165,8 +172,8 @@ PredecodedDecoder::decodeBlock(std::span<const uint64_t> detectorWords,
     const size_t u = block.touched.size();
     if (u > 0 && u * u <= sum_sq && main_->wantsDistanceView()) {
         std::sort(block.touched.begin(), block.touched.end());
-        block.unionDets.assign(block.touched.begin(),
-                               block.touched.end());
+        rt::assignRange(block.unionDets, block.touched.begin(),
+                        block.touched.end());
         workspace.distances.gather(paths_, block.unionDets);
     }
     for (uint32_t det : block.touched) {

@@ -2,6 +2,7 @@
 
 #include "qec/api/registry.hpp"
 #include "qec/decoders/workspace.hpp"
+#include "qec/util/realtime.hpp"
 
 namespace qec
 {
@@ -11,6 +12,7 @@ SparseMwpmDecoder::decode(std::span<const uint32_t> defects,
                           DecodeWorkspace &workspace,
                           DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());

@@ -4,6 +4,8 @@
 
 #include "qec/api/registry.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -83,6 +85,10 @@ UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph,
                                    const PathTable &paths)
     : Decoder(graph, paths)
 {
+    // Eager so decode() never runs make_unique: a lazily created
+    // scratch would put a first-call operator new straight into the
+    // audited hot body.
+    scratch_ = std::make_unique<Scratch>();
 }
 
 UnionFindDecoder::~UnionFindDecoder() = default;
@@ -98,14 +104,12 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
                          DecodeWorkspace & /*workspace*/,
                          DecodeTrace *trace)
 {
+    QEC_REALTIME;
     if (trace) {
         trace->reset();
         trace->hwBefore = static_cast<int>(defects.size());
     }
     DecodeResult result;
-    if (!scratch_) {
-        scratch_ = std::make_unique<Scratch>();
-    }
     Scratch &s = *scratch_;
     s.correction.clear();
     if (defects.empty()) {
@@ -113,12 +117,12 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     }
 
     const uint32_t n = graph_.numDetectors();
-    s.parent.assign(n + 1, 0);
+    rt::assignFill(s.parent, n + 1, 0u);
     for (uint32_t i = 0; i <= n; ++i) {
         s.parent[i] = i;
     }
-    s.odd.assign(n + 1, 0);
-    s.touchesBoundary.assign(n + 1, 0);
+    rt::assignFill<uint8_t>(s.odd, n + 1, 0);
+    rt::assignFill<uint8_t>(s.touchesBoundary, n + 1, 0);
     s.touchesBoundary[n] = 1;
     s.boundaryVertex = n;
     for (uint32_t d : defects) {
@@ -131,8 +135,8 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     // Every per-edge scan below reads only the SoA endpoint arrays
     // (8 bytes/edge) instead of the 40-byte GraphEdge records.
     const size_t num_edges = graph_.edges().size();
-    s.growth.assign(num_edges, 0);
-    s.inSupport.assign(n, 0);
+    rt::assignFill<uint8_t>(s.growth, num_edges, 0);
+    rt::assignFill<uint8_t>(s.inSupport, n, 0);
     for (uint32_t d : defects) {
         s.inSupport[d] = 1;
     }
@@ -161,7 +165,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
             s.growth[eid] += (u_active && v_active) ? 2 : 1;
             if (s.growth[eid] >= 2) {
                 s.growth[eid] = 2;
-                s.newlyFull.push_back(eid);
+                rt::pushBack(s.newlyFull, eid);
             }
         }
         for (uint32_t eid : s.newlyFull) {
@@ -192,15 +196,15 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     // rooting each tree at the boundary when available, then peel
     // leaves upward: a vertex with an unresolved defect toggles the
     // edge to its parent into the correction.
-    s.parentEdge.assign(n, -1);
-    s.parentVertex.assign(n, -1);
-    s.visited.assign(n, 0);
+    rt::assignFill(s.parentEdge, n, -1);
+    rt::assignFill(s.parentVertex, n, -1);
+    rt::assignFill<uint8_t>(s.visited, n, 0);
     s.order.clear();
 
     // Adjacency restricted to grown edges (CSR, filled in edge-id
     // order so BFS neighbor order matches a per-vertex push_back).
-    s.grownOffset.assign(n + 1, 0);
-    s.boundaryRootEdge.assign(n, -1);
+    rt::assignFill(s.grownOffset, n + 1, 0);
+    rt::assignFill(s.boundaryRootEdge, n, -1);
     for (uint32_t eid = 0; eid < num_edges; ++eid) {
         if (s.growth[eid] < 2) {
             continue;
@@ -217,9 +221,10 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     for (uint32_t v = 0; v < n; ++v) {
         s.grownOffset[v + 1] += s.grownOffset[v];
     }
-    s.grownEdge.assign(s.grownOffset[n], 0);
-    s.grownCursor.assign(s.grownOffset.begin(),
-                         s.grownOffset.end() - 1);
+    rt::assignFill(s.grownEdge,
+                   static_cast<size_t>(s.grownOffset[n]), 0u);
+    rt::assignRange(s.grownCursor, s.grownOffset.begin(),
+                    s.grownOffset.end() - 1);
     for (uint32_t eid = 0; eid < num_edges; ++eid) {
         if (s.growth[eid] < 2) {
             continue;
@@ -238,10 +243,10 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     auto bfs_from = [&](uint32_t root) {
         size_t head = s.queue.size();
         s.visited[root] = 1;
-        s.queue.push_back(root);
+        rt::pushBack(s.queue, root);
         while (head < s.queue.size()) {
             const uint32_t u = s.queue[head++];
-            s.order.push_back(u);
+            rt::pushBack(s.order, u);
             for (int32_t o = s.grownOffset[u];
                  o < s.grownOffset[u + 1]; ++o) {
                 const uint32_t eid = s.grownEdge[o];
@@ -252,7 +257,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
                     s.visited[w] = 1;
                     s.parentEdge[w] = static_cast<int>(eid);
                     s.parentVertex[w] = static_cast<int>(u);
-                    s.queue.push_back(w);
+                    rt::pushBack(s.queue, w);
                 }
             }
         }
@@ -269,7 +274,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     }
 
     // Peel in reverse BFS order.
-    s.flagged.assign(n, 0);
+    rt::assignFill<uint8_t>(s.flagged, n, 0);
     for (uint32_t d : defects) {
         s.flagged[d] = 1;
     }
@@ -283,7 +288,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
         if (s.parentEdge[u] >= 0) {
             const uint32_t eid =
                 static_cast<uint32_t>(s.parentEdge[u]);
-            s.correction.push_back(eid);
+            rt::pushBack(s.correction, eid);
             obs ^= graph_.edgeObsMask(eid);
             weight += graph_.edgeWeight(eid);
             s.flagged[u] = 0;
@@ -293,7 +298,7 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
         } else if (s.boundaryRootEdge[u] >= 0) {
             const uint32_t eid = static_cast<uint32_t>(
                 s.boundaryRootEdge[u]);
-            s.correction.push_back(eid);
+            rt::pushBack(s.correction, eid);
             obs ^= graph_.edgeObsMask(eid);
             weight += graph_.edgeWeight(eid);
             s.flagged[u] = 0;
@@ -312,8 +317,9 @@ UnionFindDecoder::decode(std::span<const uint32_t> defects,
     result.latencyNs = 420.0;
     if (trace) {
         // Copy (not move) so the scratch keeps its capacity.
-        trace->correctionEdges.assign(s.correction.begin(),
-                                      s.correction.end());
+        rt::assignRange(trace->correctionEdges,
+                        s.correction.begin(),
+                        s.correction.end());
     }
     return result;
 }

@@ -2,6 +2,7 @@
 
 #include "qec/util/assert.hpp"
 #include "qec/util/rng.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -78,14 +79,15 @@ FaultInjector::maybeCorrupt(const SyndromeStream &stream,
     scratch.rounds = stream.rounds;
     scratch.detectorsPerRound = stream.detectorsPerRound;
     scratch.observedObs = stream.observedObs;
-    scratch.defects.assign(stream.defects.begin(),
-                           stream.defects.end());
-    scratch.layerOffsets.assign(stream.layerOffsets.begin(),
-                                stream.layerOffsets.end());
+    rt::assignRange(scratch.defects, stream.defects.begin(),
+                    stream.defects.end());
+    rt::assignRange(scratch.layerOffsets,
+                    stream.layerOffsets.begin(),
+                    stream.layerOffsets.end());
     if (scratch.defects.empty()) {
         // Give the empty stream one impossible defect in its final
         // layer so the CSR stays consistent.
-        scratch.defects.push_back(numDetectors);
+        rt::pushBack(scratch.defects, numDetectors);
         scratch.layerOffsets.back() = 1;
     } else {
         // Ids stay ascending: numDetectors exceeds every valid id.

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -25,13 +27,13 @@ DistanceOracle::bind(const DecodingGraph &graph)
     graph_ = &graph;
     n_ = graph.numDetectors();
     epoch_ = 0;
-    stamp_.assign(n_, 0);
-    doneStamp_.assign(n_, 0);
-    dist_.resize(n_);
-    obs_.resize(n_);
-    hops_.resize(n_);
-    targetStamp_.assign(n_, 0);
-    targetSlot_.resize(n_);
+    rt::assignFill(stamp_, n_, uint32_t{0});
+    rt::assignFill(doneStamp_, n_, uint32_t{0});
+    rt::resizeTo(dist_, n_);
+    rt::resizeTo(obs_, n_);
+    rt::resizeTo(hops_, n_);
+    rt::assignFill(targetStamp_, n_, uint32_t{0});
+    rt::resizeTo(targetSlot_, n_);
 }
 
 void
@@ -50,6 +52,7 @@ void
 DistanceOracle::grow(uint32_t src, std::span<const uint32_t> targets,
                      double radius, PathCell *out)
 {
+    QEC_REALTIME;
     QEC_ASSERT(graph_ != nullptr, "DistanceOracle is not bound");
     const DecodingGraph &graph = *graph_;
     nextEpoch();
@@ -65,7 +68,7 @@ DistanceOracle::grow(uint32_t src, std::span<const uint32_t> targets,
     obs_[src] = 0;
     hops_[src] = 0;
     stamp_[src] = epoch_;
-    heap_.push_back({0.0, src});
+    rt::pushBack(heap_, {0.0, src});
 
     // The relax loop mirrors PathTable::buildPairs (see the header's
     // bit-identity contract); the vector heap with std::greater<>
@@ -107,7 +110,7 @@ DistanceOracle::grow(uint32_t src, std::span<const uint32_t> targets,
                     obs_[u] ^ static_cast<uint8_t>(edge.obsMask);
                 hops_[w] = static_cast<uint16_t>(hops_[u] + 1);
                 stamp_[w] = epoch_;
-                heap_.push_back({dw, w});
+                rt::pushBack(heap_, {dw, w});
                 std::push_heap(heap_.begin(), heap_.end(),
                                std::greater<>{});
             }

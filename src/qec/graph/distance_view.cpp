@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "qec/util/rt_grow.hpp"
+
 namespace qec
 {
 
@@ -22,11 +24,11 @@ DistanceView::gather(const PathTable &paths,
         return;
     }
     paths_ = &paths;
-    dets_.assign(defects.begin(), defects.end());
+    rt::assignRange(dets_, defects.begin(), defects.end());
     const size_t s = dets_.size();
     stride_ = s;
-    cells_.resize(s * s);
-    bcells_.resize(s);
+    rt::resizeTo(cells_, s * s);
+    rt::resizeTo(bcells_, s);
     if (!paths.pairsAvailable()) {
         // Deferred table: compute each row with the oracle (one
         // Dijkstra per defect, bit-identical to the table's cells).
@@ -70,7 +72,7 @@ DistanceView::subsetMap(const PathTable &paths,
         if (v == dets_.size() || dets_[v] != det) {
             return false;
         }
-        map.push_back(static_cast<int32_t>(v));
+        rt::pushBack(map, static_cast<int32_t>(v));
         ++v;
     }
     return true;

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -18,21 +20,22 @@ BlossomSolver::beginDense(int n)
     const int need = 2 * n + 1;
     if (need > cap_) {
         cap_ = need;
-        gu_.resize(static_cast<size_t>(cap_) * cap_);
-        gv_.resize(static_cast<size_t>(cap_) * cap_);
-        gw_.resize(static_cast<size_t>(cap_) * cap_);
-        lab_.resize(cap_);
-        match_.resize(cap_);
-        slack_.resize(cap_);
-        st_.resize(cap_);
-        pa_.resize(cap_);
-        S_.resize(cap_);
-        vis_.resize(cap_, 0);
-        flower_.resize(cap_);
+        rt::resizeTo(gu_, static_cast<size_t>(cap_) * cap_);
+        rt::resizeTo(gv_, static_cast<size_t>(cap_) * cap_);
+        rt::resizeTo(gw_, static_cast<size_t>(cap_) * cap_);
+        rt::resizeTo(lab_, cap_);
+        rt::resizeTo(match_, cap_);
+        rt::resizeTo(slack_, cap_);
+        rt::resizeTo(st_, cap_);
+        rt::resizeTo(pa_, cap_);
+        rt::resizeTo(S_, cap_);
+        rt::resizeTo(vis_, cap_);
+        rt::resizeTo(flower_, cap_);
     }
     if (n + 1 > fcap_) {
         fcap_ = n + 1;
-        flowerFrom_.resize(static_cast<size_t>(cap_) * fcap_);
+        rt::resizeTo(flowerFrom_,
+                     static_cast<size_t>(cap_) * fcap_);
     }
     // Per-solve overwrite of everything the algorithm reads before
     // writing: the real-vertex edge region, the real flowerFrom
@@ -105,7 +108,7 @@ void
 BlossomSolver::queuePush(int x)
 {
     if (x <= n_) {
-        queue_.push_back(x);
+        rt::pushBack(queue_, x);
     } else {
         for (int i : flower_[x]) {
             queuePush(i);
@@ -202,18 +205,18 @@ BlossomSolver::addBlossom(int u, int lca, int v)
     S_[b] = 0;
     match_[b] = match_[lca];
     flower_[b].clear();
-    flower_[b].push_back(lca);
+    rt::pushBack(flower_[b], lca);
     for (int x = u, y; x != lca; x = st_[pa_[y]]) {
-        flower_[b].push_back(x);
+        rt::pushBack(flower_[b], x);
         y = st_[match_[x]];
-        flower_[b].push_back(y);
+        rt::pushBack(flower_[b], y);
         queuePush(y);
     }
     std::reverse(flower_[b].begin() + 1, flower_[b].end());
     for (int x = v, y; x != lca; x = st_[pa_[y]]) {
-        flower_[b].push_back(x);
+        rt::pushBack(flower_[b], x);
         y = st_[match_[x]];
-        flower_[b].push_back(y);
+        rt::pushBack(flower_[b], y);
         queuePush(y);
     }
     setSt(b, b);
@@ -411,6 +414,7 @@ void
 BlossomSolver::solve(const MatchingProblem &problem,
                      MatchingSolution &out)
 {
+    QEC_REALTIME;
     const int n = problem.n;
     out.mate.clear();
     out.totalWeight = 0.0;
@@ -445,7 +449,7 @@ BlossomSolver::solve(const MatchingProblem &problem,
         if (problem.boundaryWeight[0] == kNoEdge) {
             return;
         }
-        out.mate.push_back(-1);
+        rt::pushBack(out.mate, -1);
         out.totalWeight = problem.boundaryWeight[0];
         out.valid = true;
         return;
@@ -470,7 +474,7 @@ BlossomSolver::solve(const MatchingProblem &problem,
     }
     run();
 
-    out.mate.assign(n, -2);
+    rt::assignFill(out.mate, n, -2);
     for (int i = 1; i <= n; ++i) {
         const int m = match_[i];
         if (m == 0) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -11,13 +12,15 @@ void
 buildDefectGraphInto(std::span<const uint32_t> defects,
                      const PathTable &paths, DefectGraph &out)
 {
-    out.defects.assign(defects.begin(), defects.end());
+    rt::assignRange(out.defects, defects.begin(),
+                    defects.end());
     out.viewMap.clear();
     const int n = static_cast<int>(defects.size());
     out.problem.n = n;
-    out.problem.pairWeight.assign(static_cast<size_t>(n) * n,
-                                  kNoEdge);
-    out.problem.boundaryWeight.assign(n, kNoEdge);
+    rt::assignFill(out.problem.pairWeight,
+                   static_cast<size_t>(n) * n, kNoEdge);
+    rt::assignFill(out.problem.boundaryWeight,
+                   static_cast<size_t>(n), kNoEdge);
     for (int i = 0; i < n; ++i) {
         const double db = paths.distToBoundary(defects[i]);
         if (std::isfinite(db)) {
@@ -37,7 +40,8 @@ buildDefectGraphInto(std::span<const uint32_t> defects,
                      const PathTable &paths, DistanceView &view,
                      DefectGraph &out)
 {
-    out.defects.assign(defects.begin(), defects.end());
+    rt::assignRange(out.defects, defects.begin(),
+                    defects.end());
     const int n = static_cast<int>(defects.size());
     if (!view.subsetMap(paths, defects, out.viewMap)) {
         // Not contained in the gathered block: gather for exactly
@@ -45,13 +49,14 @@ buildDefectGraphInto(std::span<const uint32_t> defects,
         view.gather(paths, defects);
         out.viewMap.clear();
         for (int i = 0; i < n; ++i) {
-            out.viewMap.push_back(i);
+            rt::pushBack(out.viewMap, i);
         }
     }
     out.problem.n = n;
-    out.problem.pairWeight.assign(static_cast<size_t>(n) * n,
-                                  kNoEdge);
-    out.problem.boundaryWeight.assign(n, kNoEdge);
+    rt::assignFill(out.problem.pairWeight,
+                   static_cast<size_t>(n) * n, kNoEdge);
+    rt::assignFill(out.problem.boundaryWeight,
+                   static_cast<size_t>(n), kNoEdge);
     for (int i = 0; i < n; ++i) {
         const int vi = out.viewMap[i];
         const double db = view.distToBoundary(vi);
@@ -123,9 +128,10 @@ DefectGraph::chainLengthsInto(const PathTable &paths,
     for (size_t i = 0; i < defects.size(); ++i) {
         const int m = solution.mate[i];
         if (m == -1) {
-            out.push_back(paths.boundaryHops(defects[i]));
+            rt::pushBack(out, paths.boundaryHops(defects[i]));
         } else if (m > static_cast<int>(i)) {
-            out.push_back(paths.pathHops(defects[i], defects[m]));
+            rt::pushBack(
+                out, paths.pathHops(defects[i], defects[m]));
         }
     }
 }
@@ -141,9 +147,10 @@ DefectGraph::chainLengthsInto(const DistanceView &view,
     for (size_t i = 0; i < defects.size(); ++i) {
         const int m = solution.mate[i];
         if (m == -1) {
-            out.push_back(view.boundaryHops(viewMap[i]));
+            rt::pushBack(out, view.boundaryHops(viewMap[i]));
         } else if (m > static_cast<int>(i)) {
-            out.push_back(view.hops(viewMap[i], viewMap[m]));
+            rt::pushBack(out,
+                         view.hops(viewMap[i], viewMap[m]));
         }
     }
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -45,7 +47,8 @@ ExhaustiveSolver::recurse(const MatchingProblem &problem,
         ++explored_;
         if (weight < best_) {
             best_ = weight;
-            bestMate_.assign(mate_.begin(), mate_.begin() + n);
+            rt::assignRange(bestMate_, mate_.begin(),
+                            mate_.begin() + n);
         }
         return;
     }
@@ -109,7 +112,7 @@ ExhaustiveSolver::seedGreedyBound(const MatchingProblem &problem)
         if (best_w == kNoEdge) {
             // Greedy got stuck (no boundary, no free partner):
             // leave best_ unseeded rather than guess a bound.
-            mate_.assign(n, -2);
+            rt::assignFill(mate_, n, -2);
             return;
         }
         if (best_j >= 0) {
@@ -120,16 +123,21 @@ ExhaustiveSolver::seedGreedyBound(const MatchingProblem &problem)
         }
         bound += best_w;
     }
-    mate_.assign(n, -2);
+    rt::assignFill(mate_, n, -2);
     best_ = std::nextafter(bound, kNoEdge);
 }
 
-void
+// Outlined so the QEC_REALTIME anchor stays inside this body: GCC
+// would otherwise inline the whole solve into the solveExhaustive
+// convenience wrapper, and the audit root would migrate to the
+// wrapper — whose by-value MatchingSolution return allocates.
+QEC_RT_OUTLINE void
 ExhaustiveSolver::solve(const MatchingProblem &problem,
                         MatchingSolution &out, uint64_t *explored)
 {
-    mate_.assign(problem.n, -2);
-    bestMate_.assign(problem.n, -2);
+    QEC_REALTIME;
+    rt::assignFill(mate_, problem.n, -2);
+    rt::assignFill(bestMate_, problem.n, -2);
     best_ = kNoEdge;
     explored_ = 0;
     seedGreedyBound(problem);
@@ -143,7 +151,8 @@ ExhaustiveSolver::solve(const MatchingProblem &problem,
         out.valid = false;
         return;
     }
-    out.mate.assign(bestMate_.begin(), bestMate_.end());
+    rt::assignRange(out.mate, bestMate_.begin(),
+                    bestMate_.end());
     out.totalWeight = best_;
     out.valid = true;
 }

@@ -1,6 +1,8 @@
 #include "qec/matching/near_exhaustive.hpp"
 
 #include <algorithm>
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -20,7 +22,7 @@ NearExhaustiveSolver::remainingBound() const
 void
 NearExhaustiveSolver::greedyComplete(double weight)
 {
-    savedMate_.assign(mate_.begin(), mate_.end());
+    rt::assignRange(savedMate_, mate_.begin(), mate_.end());
     for (int i = 0; i < problem_->n; ++i) {
         if (mate_[i] != -2) {
             continue;
@@ -36,7 +38,8 @@ NearExhaustiveSolver::greedyComplete(double weight)
             }
         }
         if (best_j == -3) {
-            mate_.assign(savedMate_.begin(), savedMate_.end());
+            rt::assignRange(mate_, savedMate_.begin(),
+                        savedMate_.end());
             return; // Dead end; keep previous best.
         }
         mate_[i] = best_j;
@@ -47,9 +50,10 @@ NearExhaustiveSolver::greedyComplete(double weight)
     }
     if (weight < best_) {
         best_ = weight;
-        bestMate_.assign(mate_.begin(), mate_.end());
+        rt::assignRange(bestMate_, mate_.begin(), mate_.end());
     }
-    mate_.assign(savedMate_.begin(), savedMate_.end());
+    rt::assignRange(mate_, savedMate_.begin(),
+                        savedMate_.end());
 }
 
 void
@@ -73,7 +77,7 @@ NearExhaustiveSolver::recurse(double weight)
     if (first == n) {
         if (weight < best_) {
             best_ = weight;
-            bestMate_.assign(mate_.begin(), mate_.end());
+            rt::assignRange(bestMate_, mate_.begin(), mate_.end());
         }
         return;
     }
@@ -114,27 +118,30 @@ NearExhaustiveSolver::solve(const MatchingProblem &problem,
                             long long budget, bool use_bound,
                             MatchingSolution &out)
 {
+    QEC_REALTIME;
     problem_ = &problem;
     budget_ = budget;
     useBound_ = use_bound;
     const int n = problem.n;
-    mate_.assign(n, -2);
-    bestMate_.assign(n, -2);
+    rt::assignFill(mate_, n, -2);
+    rt::assignFill(bestMate_, n, -2);
     best_ = kNoEdge;
     states_ = 0;
     hitBudget_ = false;
 
-    optOffset_.assign(n + 1, 0);
+    rt::assignFill(optOffset_, n + 1, 0);
     options_.clear();
-    minOption_.assign(n, kNoEdge);
+    rt::assignFill(minOption_, n, kNoEdge);
     for (int i = 0; i < n; ++i) {
         optOffset_[i] = static_cast<int>(options_.size());
         if (problem.boundaryWeight[i] != kNoEdge) {
-            options_.push_back({problem.boundaryWeight[i], -1});
+            rt::pushBack(options_,
+                         {problem.boundaryWeight[i], -1});
         }
         for (int j = 0; j < n; ++j) {
             if (j != i && problem.pair(i, j) != kNoEdge) {
-                options_.push_back({problem.pair(i, j), j});
+                rt::pushBack(options_,
+                             {problem.pair(i, j), j});
             }
         }
         std::sort(options_.begin() + optOffset_[i],
@@ -153,7 +160,8 @@ NearExhaustiveSolver::solve(const MatchingProblem &problem,
         out.valid = false;
         return;
     }
-    out.mate.assign(bestMate_.begin(), bestMate_.end());
+    rt::assignRange(out.mate, bestMate_.begin(),
+                    bestMate_.end());
     out.totalWeight = best_;
     out.valid = true;
 }

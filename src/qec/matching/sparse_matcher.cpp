@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -33,9 +35,10 @@ void
 SparseMatchingProblem::build(const PathTable &paths,
                              std::span<const uint32_t> defects)
 {
+    QEC_REALTIME;
     n_ = static_cast<int>(defects.size());
-    defects_.assign(defects.begin(), defects.end());
-    bcells_.resize(n_);
+    rt::assignRange(defects_, defects.begin(), defects.end());
+    rt::resizeTo(bcells_, n_);
     for (int i = 0; i < n_; ++i) {
         bcells_[i] = paths.boundaryCell(defects_[i]);
     }
@@ -46,16 +49,18 @@ SparseMatchingProblem::build(const PathTable &paths,
         // Dense backend: read table rows on demand and prune. No
         // S×S block is materialized — only the kept candidates.
         for (int i = 0; i < n_; ++i) {
-            offsets_.push_back(static_cast<int32_t>(cands_.size()));
+            rt::pushBack(offsets_,
+                         static_cast<int32_t>(cands_.size()));
             const PathCell *row = paths.row(defects_[i]);
             for (int j = i + 1; j < n_; ++j) {
                 const PathCell &cell = row[defects_[j]];
                 if (keepCandidate(cell, bcells_[i], bcells_[j])) {
-                    cands_.push_back({j, cell});
+                    rt::pushBack(cands_, {j, cell});
                 }
             }
         }
-        offsets_.push_back(static_cast<int32_t>(cands_.size()));
+        rt::pushBack(offsets_,
+                 static_cast<int32_t>(cands_.size()));
         return;
     }
 
@@ -65,15 +70,17 @@ SparseMatchingProblem::build(const PathTable &paths,
     // produce the identical candidate set (oracle cells are
     // bit-identical to table cells).
     oracle_.bind(paths.graph());
-    suffixMax_.resize(static_cast<size_t>(n_) + 1);
+    rt::resizeTo(suffixMax_, static_cast<size_t>(n_) + 1);
     suffixMax_[n_] = 0.0;
     for (int i = n_ - 1; i >= 0; --i) {
         suffixMax_[i] = std::max(
             suffixMax_[i + 1], static_cast<double>(bcells_[i].dist));
     }
-    rowScratch_.resize(n_ > 0 ? static_cast<size_t>(n_) : 0);
+    rt::resizeTo(rowScratch_,
+                 n_ > 0 ? static_cast<size_t>(n_) : 0);
     for (int i = 0; i < n_; ++i) {
-        offsets_.push_back(static_cast<int32_t>(cands_.size()));
+        rt::pushBack(offsets_,
+                 static_cast<int32_t>(cands_.size()));
         const int targets = n_ - 1 - i;
         if (targets == 0) {
             continue;
@@ -88,11 +95,12 @@ SparseMatchingProblem::build(const PathTable &paths,
             const int j = i + 1 + k;
             const PathCell &cell = rowScratch_[k];
             if (keepCandidate(cell, bcells_[i], bcells_[j])) {
-                cands_.push_back({j, cell});
+                rt::pushBack(cands_, {j, cell});
             }
         }
     }
-    offsets_.push_back(static_cast<int32_t>(cands_.size()));
+    rt::pushBack(offsets_,
+                 static_cast<int32_t>(cands_.size()));
 }
 
 const PathCell &
@@ -134,9 +142,9 @@ SparseMatchingProblem::chainLengthsInto(
     for (int i = 0; i < n_; ++i) {
         const int m = solution.mate[i];
         if (m == -1) {
-            out.push_back(bcells_[i].hops);
+            rt::pushBack(out, int{bcells_[i].hops});
         } else if (m > i) {
-            out.push_back(pairCell(i, m).hops);
+            rt::pushBack(out, int{pairCell(i, m).hops});
         }
     }
 }
@@ -155,8 +163,9 @@ void
 SparseMatcher::solve(const SparseMatchingProblem &problem,
                      MatchingSolution &out)
 {
+    QEC_REALTIME;
     const int n = problem.size();
-    out.mate.assign(n, -2);
+    rt::assignFill(out.mate, n, -2);
     out.totalWeight = 0.0;
     out.valid = true;
     if (n == 0) {
@@ -167,7 +176,7 @@ SparseMatcher::solve(const SparseMatchingProblem &problem,
     // different components never match each other (no kept edge),
     // so each component is an independent exact subproblem — the
     // win over one monolithic dense solve.
-    parent_.resize(n);
+    rt::resizeTo(parent_, n);
     for (int i = 0; i < n; ++i) {
         parent_[i] = i;
     }
@@ -180,25 +189,25 @@ SparseMatcher::solve(const SparseMatchingProblem &problem,
             }
         }
     }
-    compOf_.assign(n, -1);
+    rt::assignFill(compOf_, n, -1);
     compCount_.clear();
     int comps = 0;
     for (int i = 0; i < n; ++i) {
         const int32_t r = find(i);
         if (compOf_[r] == -1) {
             compOf_[r] = comps++;
-            compCount_.push_back(0);
+            rt::pushBack(compCount_, 0);
         }
         compOf_[i] = compOf_[r];
         ++compCount_[compOf_[i]];
     }
-    compStart_.resize(comps + 1);
+    rt::resizeTo(compStart_, comps + 1);
     compStart_[0] = 0;
     for (int c = 0; c < comps; ++c) {
         compStart_[c + 1] = compStart_[c] + compCount_[c];
     }
-    members_.resize(n);
-    localPos_.resize(n);
+    rt::resizeTo(members_, n);
+    rt::resizeTo(localPos_, n);
     {
         // Counting sort by component, ascending local index within.
         std::vector<int32_t> &fill = compCount_; // Reuse as cursor.
@@ -247,8 +256,10 @@ SparseMatcher::solve(const SparseMatchingProblem &problem,
         }
         // General component: its dense subproblem over members only.
         sub_.n = m;
-        sub_.pairWeight.assign(static_cast<size_t>(m) * m, kNoEdge);
-        sub_.boundaryWeight.assign(m, kNoEdge);
+        rt::assignFill(sub_.pairWeight,
+                       static_cast<size_t>(m) * m, kNoEdge);
+        rt::assignFill(sub_.boundaryWeight,
+                       static_cast<size_t>(m), kNoEdge);
         for (int a = 0; a < m; ++a) {
             const int i = mem[a];
             const double db = problem.boundaryCell(i).dist;
@@ -269,8 +280,10 @@ SparseMatcher::solve(const SparseMatchingProblem &problem,
             // unreachable boundary) propagate naturally; an
             // infinite dp[full] means the component is infeasible.
             const uint32_t full = (1u << m) - 1;
-            dpCost_.resize(static_cast<size_t>(full) + 1);
-            dpChoice_.resize(static_cast<size_t>(full) + 1);
+            rt::resizeTo(dpCost_,
+                         static_cast<size_t>(full) + 1);
+            rt::resizeTo(dpChoice_,
+                         static_cast<size_t>(full) + 1);
             double *const dp = dpCost_.data();
             int8_t *const choice_of = dpChoice_.data();
             dp[0] = 0.0;

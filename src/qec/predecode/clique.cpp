@@ -6,6 +6,8 @@
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/arena.hpp"
 #include "qec/util/bitvec.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -16,6 +18,7 @@ CliquePredecoder::predecode(std::span<const uint32_t> defects,
                             DecodeWorkspace &workspace,
                             PredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget;
     result.reset();
     result.rounds = 1;
@@ -72,7 +75,8 @@ CliquePredecoder::predecode(std::span<const uint32_t> defects,
         result.weight = weight;
     } else {
         result.forwarded = true;
-        result.residual.assign(defects.begin(), defects.end());
+        rt::assignRange(result.residual, defects.begin(),
+                        defects.end());
     }
 }
 
@@ -82,6 +86,7 @@ CliquePredecoder::predecodeBlock(
     long long cycle_budget, DecodeWorkspace &workspace,
     BlockPredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget;
     result.reset();
     result.laneMask = laneMask;
@@ -95,7 +100,8 @@ CliquePredecoder::predecodeBlock(
     block.unionDets.clear();
     for (size_t det = 0; det < detectorWords.size(); ++det) {
         if (detectorWords[det] & laneMask) {
-            block.unionDets.push_back(static_cast<uint32_t>(det));
+            rt::pushBack(block.unionDets,
+                         static_cast<uint32_t>(det));
         }
     }
     SyndromeSubgraph &sg = workspace.subgraph;
@@ -187,8 +193,8 @@ CliquePredecoder::predecodeBlock(
     for (int i = 0; i < n; ++i) {
         const uint64_t r = present[i] & uncovered;
         if (r != 0) {
-            result.residualDets.push_back(sg.det(i));
-            result.residualWords.push_back(r);
+            rt::pushBack(result.residualDets, sg.det(i));
+            rt::pushBack(result.residualWords, r);
         }
     }
     forEachSetBit(laneMask, [&](int lane) {

@@ -6,6 +6,8 @@
 #include "qec/api/registry.hpp"
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/arena.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -16,6 +18,7 @@ HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
                                   DecodeWorkspace &workspace,
                                   PredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget;
     result.reset();
     result.rounds = 1;
@@ -70,7 +73,8 @@ HierarchicalPredecoder::predecode(std::span<const uint32_t> defects,
         result.weight = weight;
     } else {
         result.forwarded = true;
-        result.residual.assign(defects.begin(), defects.end());
+        rt::assignRange(result.residual, defects.begin(),
+                        defects.end());
     }
 }
 

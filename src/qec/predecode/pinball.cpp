@@ -9,6 +9,8 @@
 #include "qec/util/arena.hpp"
 #include "qec/util/assert.hpp"
 #include "qec/util/bitvec.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -76,6 +78,7 @@ PinballPredecoder::predecode(std::span<const uint32_t> defects,
                              DecodeWorkspace &workspace,
                              PredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget; // Fixed-latency pipeline, not adaptive.
     result.reset();
 
@@ -158,7 +161,7 @@ PinballPredecoder::predecode(std::span<const uint32_t> defects,
 
     for (int i = 0; i < n; ++i) {
         if (sg.alive(i)) {
-            result.residual.push_back(sg.det(i));
+            rt::pushBack(result.residual, sg.det(i));
         }
     }
 }
@@ -169,6 +172,7 @@ PinballPredecoder::predecodeBlock(
     long long cycle_budget, DecodeWorkspace &workspace,
     BlockPredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget; // Fixed-latency pipeline, not adaptive.
     result.reset();
     result.laneMask = laneMask;
@@ -187,7 +191,7 @@ PinballPredecoder::predecodeBlock(
     for (uint32_t det = 0;
          det < static_cast<uint32_t>(detectorWords.size()); ++det) {
         if (detectorWords[det] & laneMask) {
-            block.unionDets.push_back(det);
+            rt::pushBack(block.unionDets, det);
         }
     }
     SyndromeSubgraph &sg = workspace.subgraph;
@@ -321,8 +325,8 @@ PinballPredecoder::predecodeBlock(
 
     for (int i = 0; i < n; ++i) {
         if (alive[i]) {
-            result.residualDets.push_back(sg.det(i));
-            result.residualWords.push_back(alive[i]);
+            rt::pushBack(result.residualDets, sg.det(i));
+            rt::pushBack(result.residualWords, alive[i]);
         }
     }
     forEachSetBit(laneMask, [&](int lane) {

@@ -4,6 +4,8 @@
 
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/bitvec.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -36,6 +38,7 @@ Predecoder::predecodeBlock(std::span<const uint64_t> detectorWords,
                            DecodeWorkspace &workspace,
                            BlockPredecodeResult &result)
 {
+    QEC_REALTIME;
     // Serial fallback: loop every requested lane through the scalar
     // path — bit-identical by construction. Word kernels override
     // this (Pinball/Smith/Clique).
@@ -49,7 +52,8 @@ Predecoder::predecodeBlock(std::span<const uint64_t> detectorWords,
     // Merge the per-lane residual lists into the sparse column
     // layout via the dense laneWords scratch (all-zero invariant:
     // every entry set here is cleared again below).
-    block.laneWords.resize(detectorWords.size(), 0);
+    rt::resizeFill(block.laneWords, detectorWords.size(),
+                   uint64_t{0});
     block.touched.clear();
     PredecodeResult &lane_result = workspace.predecodeResult;
     forEachSetBit(laneMask, [&](int lane) {
@@ -68,15 +72,15 @@ Predecoder::predecodeBlock(std::span<const uint64_t> detectorWords,
         }
         for (uint32_t det : lane_result.residual) {
             if (block.laneWords[det] == 0) {
-                block.touched.push_back(det);
+                rt::pushBack(block.touched, det);
             }
             block.laneWords[det] |= bit;
         }
     });
     std::sort(block.touched.begin(), block.touched.end());
     for (uint32_t det : block.touched) {
-        result.residualDets.push_back(det);
-        result.residualWords.push_back(block.laneWords[det]);
+        rt::pushBack(result.residualDets, det);
+        rt::pushBack(result.residualWords, block.laneWords[det]);
         block.laneWords[det] = 0;
     }
 }

@@ -8,6 +8,8 @@
 #include "qec/matching/matching_problem.hpp"
 #include "qec/util/arena.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -18,6 +20,7 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
                               DecodeWorkspace &workspace,
                               PredecodeResult &result)
 {
+    QEC_REALTIME;
     result.reset();
     SyndromeSubgraph &sg = workspace.subgraph;
     sg.build(graph_, defects);
@@ -225,7 +228,7 @@ PromatchPredecoder::predecode(std::span<const uint32_t> defects,
 
     for (int i = 0; i < sg.size(); ++i) {
         if (sg.alive(i)) {
-            result.residual.push_back(sg.det(i));
+            rt::pushBack(result.residual, sg.det(i));
         }
     }
 }

@@ -6,6 +6,8 @@
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/arena.hpp"
 #include "qec/util/bitvec.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -29,6 +31,7 @@ SmithPredecoder::predecode(std::span<const uint32_t> defects,
                            DecodeWorkspace &workspace,
                            PredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget; // Not adaptive: one fixed pass.
     result.reset();
     result.rounds = 1;
@@ -79,7 +82,7 @@ SmithPredecoder::predecode(std::span<const uint32_t> defects,
 
     for (int i = 0; i < n; ++i) {
         if (!matched[i]) {
-            result.residual.push_back(defects[i]);
+            rt::pushBack(result.residual, defects[i]);
         }
     }
 }
@@ -90,6 +93,7 @@ SmithPredecoder::predecodeBlock(
     long long cycle_budget, DecodeWorkspace &workspace,
     BlockPredecodeResult &result)
 {
+    QEC_REALTIME;
     (void)cycle_budget; // Not adaptive: one fixed pass.
     result.reset();
     result.laneMask = laneMask;
@@ -105,7 +109,8 @@ SmithPredecoder::predecodeBlock(
     block.unionDets.clear();
     for (size_t det = 0; det < detectorWords.size(); ++det) {
         if (detectorWords[det] & laneMask) {
-            block.unionDets.push_back(static_cast<uint32_t>(det));
+            rt::pushBack(block.unionDets,
+                         static_cast<uint32_t>(det));
         }
     }
     SyndromeSubgraph &sg = workspace.subgraph;
@@ -168,8 +173,8 @@ SmithPredecoder::predecodeBlock(
     for (int i = 0; i < n; ++i) {
         const uint64_t r = present[i] & ~matched[i];
         if (r != 0) {
-            result.residualDets.push_back(sg.det(i));
-            result.residualWords.push_back(r);
+            rt::pushBack(result.residualDets, sg.det(i));
+            rt::pushBack(result.residualWords, r);
         }
     }
     forEachSetBit(laneMask,

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "qec/util/assert.hpp"
+#include "qec/util/realtime.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -11,23 +13,24 @@ void
 SyndromeSubgraph::build(const DecodingGraph &graph,
                         std::span<const uint32_t> defects)
 {
+    QEC_REALTIME;
     // Membership scratch: initialize once per graph (the only
     // allocation this type ever performs), then clear just the
     // previous syndrome's marks.
     if (graph_ != &graph ||
         localIndex_.size() != graph.numDetectors()) {
-        localIndex_.assign(graph.numDetectors(), -1);
+        rt::assignFill(localIndex_, graph.numDetectors(), -1);
     } else {
         for (uint32_t det : dets_) {
             localIndex_[det] = -1;
         }
     }
     graph_ = &graph;
-    dets_.assign(defects.begin(), defects.end());
+    rt::assignRange(dets_, defects.begin(), defects.end());
     const int n = size();
-    alive_.assign(n, 1);
+    rt::assignFill<uint8_t>(alive_, n, 1);
     aliveCount_ = n;
-    adjOffset_.assign(n + 1, 0);
+    rt::assignFill(adjOffset_, n + 1, 0);
     for (int i = 0; i < n; ++i) {
         localIndex_[dets_[i]] = i;
     }
@@ -46,8 +49,8 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
              graph.pairNeighbors(dets_[i])) {
             const int32_t j = localIndex_[half.neighbor];
             if (j >= 0) {
-                adjNode_.push_back(j);
-                adjEdge_.push_back(half.edgeId);
+                rt::pushBack(adjNode_, j);
+                rt::pushBack(adjEdge_, half.edgeId);
                 ++adjOffset_[i + 1];
             }
         }
@@ -58,8 +61,8 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
     // All nodes start alive, so the live degree is the static row
     // length and #dependent counts static degree-1 neighbors; the
     // first snapshot is published directly.
-    degLive_.assign(n, 0);
-    depLive_.assign(n, 0);
+    rt::assignFill(degLive_, n, 0);
+    rt::assignFill(depLive_, n, 0);
     dirty_.clear();
     for (int i = 0; i < n; ++i) {
         degLive_[i] = adjOffset_[i + 1] - adjOffset_[i];
@@ -73,13 +76,15 @@ SyndromeSubgraph::build(const DecodingGraph &graph,
         }
         depLive_[i] = dep;
     }
-    deg_.assign(degLive_.begin(), degLive_.end());
-    dependent_.assign(depLive_.begin(), depLive_.end());
+    rt::assignRange(deg_, degLive_.begin(), degLive_.end());
+    rt::assignRange(dependent_, depLive_.begin(),
+                    depLive_.end());
 }
 
 void
 SyndromeSubgraph::refresh()
 {
+    QEC_REALTIME;
     for (const int32_t i : dirty_) {
         deg_[i] = degLive_[i];
         dependent_[i] = depLive_[i];
@@ -138,7 +143,7 @@ SyndromeSubgraph::kill(int i)
         for (const int j : neighbors(i)) {
             if (alive_[j]) {
                 --depLive_[j];
-                dirty_.push_back(j);
+                rt::pushBack(dirty_, j);
             }
         }
     }
@@ -149,7 +154,7 @@ SyndromeSubgraph::kill(int i)
             continue;
         }
         const int old_deg = degLive_[j]--;
-        dirty_.push_back(j);
+        rt::pushBack(dirty_, j);
         if (old_deg == 2) {
             // j just became degree-1: every remaining alive
             // neighbor of j now depends on it. (A 1 -> 0 transition
@@ -157,14 +162,14 @@ SyndromeSubgraph::kill(int i)
             for (const int k : neighbors(j)) {
                 if (alive_[k]) {
                     ++depLive_[k];
-                    dirty_.push_back(k);
+                    rt::pushBack(dirty_, k);
                 }
             }
         }
     }
     degLive_[i] = 0;
     depLive_[i] = 0;
-    dirty_.push_back(i);
+    rt::pushBack(dirty_, i);
 }
 
 } // namespace qec

@@ -6,6 +6,7 @@
 #include "qec/fault/fault_injector.hpp"
 #include "qec/util/assert.hpp"
 #include "qec/util/backoff.hpp"
+#include "qec/util/realtime.hpp"
 #include "qec/util/rng.hpp"
 
 namespace qec
@@ -196,6 +197,7 @@ DecodeServer::stop()
 void
 DecodeServer::workerLoop(Worker &w)
 {
+    QEC_REALTIME;
     SpinBackoff backoff;
     for (;;) {
         uint32_t slot;
@@ -216,8 +218,7 @@ DecodeServer::workerLoop(Worker &w)
                 // health()'s oldestInFlightAgeNs grows (the
                 // watchdog tests key off that).
                 while (faults_->wedged(w.index)) {
-                    std::this_thread::sleep_for(
-                        std::chrono::microseconds(20));
+                    idleNap(20);
                 }
                 uint64_t stallNs = 0;
                 if (faults_->injectStall(&stallNs)) {

@@ -4,6 +4,7 @@
 
 #include "qec/decoders/workspace.hpp"
 #include "qec/util/assert.hpp"
+#include "qec/util/rt_grow.hpp"
 
 namespace qec
 {
@@ -63,7 +64,7 @@ StreamingDecoder::pushLayer(std::span<const uint32_t> defects)
             return poison(DecodeStatus::kMalformedStream);
         }
     }
-    window_.insert(window_.end(), defects.begin(), defects.end());
+    rt::appendRange(window_, defects.begin(), defects.end());
     stats_.defectsSeen += defects.size();
     ++pushedLayers_;
     while (pushedLayers_ >= winStart_ + config_.windowRounds) {

@@ -2,10 +2,17 @@
 
 #include <algorithm>
 
+#include "qec/util/realtime.hpp"
+
 namespace qec
 {
 
-void
+// The arena's only heap traffic. Outlined and cold so the audit
+// can exempt it by name (tools/rt_audit/allow.txt): chunk growth
+// happens while the per-decode working set is still finding its
+// high-water mark, and the counting-allocator suite proves it
+// converges to zero in steady state.
+QEC_RT_COLD void
 MonotonicArena::addChunk(size_t min_bytes)
 {
     size_t size = chunks_.empty()
@@ -21,6 +28,7 @@ MonotonicArena::addChunk(size_t min_bytes)
 void *
 MonotonicArena::allocate(size_t bytes, size_t align)
 {
+    QEC_REALTIME;
     if (bytes == 0) {
         bytes = 1;
     }
@@ -51,15 +59,25 @@ MonotonicArena::allocate(size_t bytes, size_t align)
     }
 }
 
+// Outlined like addChunk (and exempted with it): coalescing frees
+// the overflow chunks of a still-growing cycle, which only happens
+// while warming up — a steady-state reset() never enters here.
+QEC_RT_COLD void
+MonotonicArena::coalesce()
+{
+    const size_t total = capacity();
+    chunks_.clear();
+    addChunk(total);
+}
+
 void
 MonotonicArena::reset()
 {
+    QEC_REALTIME;
     if (chunks_.size() > 1) {
         // Coalesce so the next cycle fits in one chunk and the
         // steady state stops allocating.
-        const size_t total = capacity();
-        chunks_.clear();
-        addChunk(total);
+        coalesce();
     }
     active_ = 0;
     cursor_ = 0;

@@ -87,6 +87,7 @@ class MonotonicArena
     };
 
     void addChunk(size_t min_bytes);
+    void coalesce();
 
     std::vector<Chunk> chunks_;
     size_t initialBytes_;

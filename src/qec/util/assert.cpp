@@ -1,0 +1,25 @@
+#include "qec/util/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "qec/util/realtime.hpp"
+
+namespace qec
+{
+
+QEC_RT_COLD void
+qecPanic(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+QEC_RT_COLD void
+qecFatal(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
+    std::exit(1);
+}
+
+} // namespace qec

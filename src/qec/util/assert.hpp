@@ -4,32 +4,29 @@
  *
  * qecPanic() is for internal invariant violations (library bugs);
  * qecFatal() is for unusable user input (bad configuration).
+ *
+ * Both are defined out of line (assert.cpp) and marked cold: hot-
+ * path functions may QEC_ASSERT freely because the failure path —
+ * the only part that formats and does I/O — is a single outlined
+ * noreturn symbol, which the static real-time auditor exempts by
+ * name (the process is dying; allocation and I/O after a contract
+ * breach are acceptable). Inlining the fprintf into callers would
+ * instead put denylisted I/O relocations in every hot function.
  */
 
 #ifndef QEC_UTIL_ASSERT_HPP
 #define QEC_UTIL_ASSERT_HPP
 
-#include <cstdio>
-#include <cstdlib>
-
 namespace qec
 {
 
 /** Abort with a message; use for "should never happen" conditions. */
-[[noreturn]] inline void
-qecPanic(const char *file, int line, const char *msg)
-{
-    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
-    std::abort();
-}
+[[noreturn]] void qecPanic(const char *file, int line,
+                           const char *msg);
 
 /** Exit with a message; use for invalid user-supplied configuration. */
-[[noreturn]] inline void
-qecFatal(const char *file, int line, const char *msg)
-{
-    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg);
-    std::exit(1);
-}
+[[noreturn]] void qecFatal(const char *file, int line,
+                           const char *msg);
 
 } // namespace qec
 

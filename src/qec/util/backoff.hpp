@@ -15,7 +15,10 @@
 #define QEC_UTIL_BACKOFF_HPP
 
 #include <chrono>
+#include <cstdint>
 #include <thread>
+
+#include "qec/util/realtime.hpp"
 
 namespace qec
 {
@@ -31,6 +34,19 @@ cpuRelax()
 #else
     std::this_thread::yield();
 #endif
+}
+
+/**
+ * Short parking nap for idle/parked polling loops. Outlined cold so
+ * audited loops (the serve worker) carry a call to this named
+ * symbol — exempted in tools/rt_audit/allow.txt as deliberate idle
+ * parking — instead of a raw nanosleep relocation that would be
+ * indistinguishable from a sleep on the decode latency path.
+ */
+QEC_RT_COLD inline void
+idleNap(uint32_t us)
+{
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
 /** Spin → yield → sleep escalation for idle polling loops. */
@@ -50,8 +66,7 @@ class SpinBackoff
         } else {
             // Deep idle: cap the wake-up latency at ~50us instead
             // of monopolizing a hardware thread.
-            std::this_thread::sleep_for(
-                std::chrono::microseconds(50));
+            idleNap(50);
         }
     }
 

@@ -1,0 +1,6 @@
+#include "qec/util/realtime.hpp"
+
+// The one definition of the audit anchor. Placed in its own TU so
+// every QEC_REALTIME marker is an external relocation against this
+// symbol — which is exactly what tools/rt_audit scans for.
+extern "C" const char qec_rt_root_anchor[] = "qec-rt-audit-root";

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Seeded-violation fixture for qec-rt-audit.
+ *
+ * Each rtXxxViolation function below is a QEC_REALTIME root that
+ * deliberately commits exactly one denylist class. The auditor run
+ * in tests/test_rt_audit.cpp (and the rt_audit_fixture ctest
+ * entry) must flag every one of them with a readable call chain —
+ * proving the pass actually detects each forbidden-operation
+ * class, not just that the production library happens to audit
+ * clean. rtCleanControl must NOT be flagged (no false positives),
+ * and rtAllocViaHelper must be flagged through the intermediate
+ * helper frame (proving chains are transitive, not just direct
+ * relocations).
+ *
+ * Never linked into anything; compiled only so its objects land in
+ * compile_commands.json for the fixture audit.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "qec/util/realtime.hpp"
+
+namespace qec_rt_fixture
+{
+
+// Out-of-line on purpose: the alloc chain must cross a real call
+// edge (root -> helper -> operator new), like the documentation
+// example "decode -> buildDefectGraphInto -> operator new".
+__attribute__((noinline)) int *
+allocatingHelper(int n)
+{
+    return new int[static_cast<unsigned>(n)];
+}
+
+/** alloc, via an intermediate frame: root -> helper -> new[]. */
+int
+rtAllocViaHelper(int n)
+{
+    QEC_REALTIME;
+    int *p = allocatingHelper(n);
+    const int out = p[0];
+    delete[] p;
+    return out;
+}
+
+/**
+ * alloc, direct: operator new in the root body. Returns the
+ * pointer so GCC's paired new/delete elision cannot remove the
+ * allocation.
+ */
+int *
+rtAllocViolation(int n)
+{
+    QEC_REALTIME;
+    return new int(n);
+}
+
+/** lock: std::mutex lock/unlock -> pthread_mutex_*. */
+int
+rtLockViolation(std::mutex &m, int x)
+{
+    QEC_REALTIME;
+    const std::lock_guard<std::mutex> guard(m);
+    return x + 1;
+}
+
+/** clock: std::chrono::steady_clock::now(). */
+long long
+rtClockViolation()
+{
+    QEC_REALTIME;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** throw: __cxa_throw / __cxa_allocate_exception. */
+int
+rtThrowViolation(int x)
+{
+    QEC_REALTIME;
+    if (x < 0) {
+        throw x;
+    }
+    return x;
+}
+
+/** rand: libc rand(). */
+int
+rtRandViolation()
+{
+    QEC_REALTIME;
+    return std::rand();
+}
+
+/** io: stdio on the hot path. */
+int
+rtIoViolation(int x)
+{
+    QEC_REALTIME;
+    return std::printf("%d\n", x);
+}
+
+/**
+ * Control: arithmetic only. The audit of this fixture must report
+ * zero violations rooted here — a false positive on this function
+ * means the pass is broken in the other direction.
+ */
+int
+rtCleanControl(int x)
+{
+    QEC_REALTIME;
+    int acc = 1;
+    for (int i = 1; i <= x; ++i) {
+        acc = acc * 31 + i;
+    }
+    return acc;
+}
+
+} // namespace qec_rt_fixture
